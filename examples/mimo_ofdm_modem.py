@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The paper's case study: a 2x2 MIMO-OFDM packet through the processor.
+
+Transmits a 64-QAM packet with the golden transmitter, impairs it with a
+carrier frequency offset, and runs the complete receive pipeline — every
+Table 2 kernel, compiled by the DRESC-like compiler and executed on the
+cycle-accurate simulator.  Prints the measured Table 2, the Table 3
+power figures and the headline real-time analysis.
+
+Takes a few minutes of simulation.  Run:
+    python examples/mimo_ofdm_modem.py
+"""
+
+from repro.eval import (
+    headline_report,
+    run_reference_modem,
+    table2_report,
+    table3_report,
+    fig6_report,
+)
+
+
+def main():
+    print("simulating one packet through the full receiver ...")
+    run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None)
+    print()
+    print("=== Table 2: kernel profiling (measured vs paper) ===")
+    print(table2_report(run))
+    print()
+    print("=== Table 3: power (model calibrated on this run) ===")
+    print(table3_report(run))
+    print()
+    print("=== Fig 6: power breakdowns ===")
+    print(fig6_report(run))
+    print()
+    print("=== Headline ===")
+    print(headline_report(run))
+    print()
+    print(
+        "CFO: injected %.0f Hz, estimated on-array %.0f Hz; BER %.4f"
+        % (run.cfo_true_hz, run.output.cfo_hz, run.ber)
+    )
+
+
+if __name__ == "__main__":
+    main()

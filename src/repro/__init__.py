@@ -1,0 +1,45 @@
+"""repro — reproduction of the IMEC ADRES hybrid CGA-SIMD SDR baseband processor.
+
+This package reimplements, in pure Python, the system described in
+
+    B. Bougard et al., "A Coarse-Grained Array based Baseband Processor
+    for 100Mbps+ Software Defined Radio", DATE 2008.
+
+Subpackages
+-----------
+``repro.isa``
+    The Table 1 instruction set: opcodes, bit-accurate semantics,
+    assembler and disassembler.
+``repro.arch``
+    The architecture template (functional units, register files,
+    interconnect) and the paper's 4x4 hybrid CGA/VLIW instance.
+``repro.sim``
+    Cycle-accurate simulator: VLIW and CGA execution modes, 4-bank L1
+    scratchpad with crossbar contention, instruction cache, AMBA-style
+    bus and DMA, activity statistics.
+``repro.compiler``
+    DRESC-like compiler: kernel DSL ("C with intrinsics"), VLIW list
+    scheduler, modulo scheduler with place-and-route on the modulo
+    routing resource graph, code generation.
+``repro.phy``
+    Fixed-point 20 MHz 2x2 MIMO-OFDM baseband reference (FFT, QAM64,
+    preamble synchronisation, CFO, SDM detection, channel models).
+``repro.kernels``
+    The Table 2 kernel suite expressed in the compiler DSL.
+``repro.modem``
+    The full inner-modem pipelines (preamble / data processing),
+    profiling and real-time analysis.
+``repro.power``
+    Activity-based power model and structural area model (Table 3,
+    Figs 5 and 6).
+``repro.eval``
+    Harness that regenerates every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+CLOCK_HZ = 400_000_000
+"""Worst-case clock frequency of the paper's implementation (400 MHz)."""
+
+PEAK_GOPS_16BIT = 25.6
+"""Peak 16-bit GOPS: 16 FUs x 4 SIMD lanes x 400 MHz."""

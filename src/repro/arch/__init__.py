@@ -1,0 +1,31 @@
+"""Architecture template of the hybrid CGA/VLIW processor (Figs 1-3).
+
+The template is declarative: :class:`~repro.arch.resources.FunctionalUnit`
+and :class:`~repro.arch.resources.RegisterFileSpec` describe datapath
+resources, :mod:`repro.arch.topology` describes the CGA interconnect and
+:class:`~repro.arch.config.CgaArchitecture` bundles a complete machine
+(array geometry, register files, memories, clock).
+
+:func:`repro.arch.presets.paper_core` instantiates the exact machine of
+the paper: a 4x4 array of 64-bit 4-way-SIMD functional units, three of
+which double as the 3-issue VLIW with access to the shared 64x64-bit
+central register file, the remaining thirteen carrying local 2R/1W
+register files.
+"""
+
+from repro.arch.resources import FunctionalUnit, RegisterFileSpec, MemorySpec
+from repro.arch.topology import Interconnect, mesh_plus_topology, full_topology
+from repro.arch.config import CgaArchitecture
+from repro.arch.presets import paper_core, small_test_core
+
+__all__ = [
+    "FunctionalUnit",
+    "RegisterFileSpec",
+    "MemorySpec",
+    "Interconnect",
+    "mesh_plus_topology",
+    "full_topology",
+    "CgaArchitecture",
+    "paper_core",
+    "small_test_core",
+]

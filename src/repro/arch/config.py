@@ -1,0 +1,135 @@
+"""Complete machine configuration: array + register files + memories + clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.arch.resources import FunctionalUnit, MemorySpec, RegisterFileSpec
+from repro.arch.topology import Interconnect
+from repro.isa.opcodes import Opcode, OpGroup
+
+
+@dataclass(frozen=True)
+class CgaArchitecture:
+    """A fully specified hybrid CGA/VLIW machine.
+
+    Instances are immutable; the simulator, compiler, area model and
+    power model all consume the same object, so an experiment that
+    changes the architecture (ablations) constructs a new instance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    rows, cols:
+        Array geometry (paper: 4x4).
+    fus:
+        The functional units, indexed row-major; ``fus[i].index == i``.
+    interconnect:
+        CGA inter-unit connectivity.
+    cdrf / cprf:
+        Central data (64x64-bit, 6R/3W) and predicate (64x1-bit)
+        register files, shared by VLIW and CGA modes in mutual
+        exclusion.
+    local_rf_entries:
+        Entries in each CGA-only unit's local 2R/1W file.
+    l1:
+        Data scratchpad: 4 banks, 1 port per bank, 16K x 32-bit total.
+    icache:
+        Direct-mapped instruction cache (32 KB, 128-bit lines).
+    config_memory_contexts:
+        Depth of the ultra-wide configuration memory in contexts (one
+        context is fetched per CGA cycle).
+    clock_hz:
+        Operating frequency (paper: 400 MHz worst case).
+    icache_miss_penalty:
+        Cycles to refill one 128-bit line from the external instruction
+        memory interface.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    fus: Tuple[FunctionalUnit, ...]
+    interconnect: Interconnect
+    cdrf: RegisterFileSpec
+    cprf: RegisterFileSpec
+    local_rf_entries: int
+    l1: MemorySpec
+    icache: MemorySpec
+    config_memory_contexts: int
+    clock_hz: int = 400_000_000
+    icache_miss_penalty: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.fus) != self.rows * self.cols:
+            raise ValueError(
+                "expected %d FUs, got %d" % (self.rows * self.cols, len(self.fus))
+            )
+        for i, fu in enumerate(self.fus):
+            if fu.index != i:
+                raise ValueError("FU at position %d has index %d" % (i, fu.index))
+        if self.interconnect.n_units != len(self.fus):
+            raise ValueError("interconnect size does not match FU count")
+        slots = sorted(fu.vliw_slot for fu in self.fus if fu.is_vliw)
+        if slots != list(range(len(slots))):
+            raise ValueError("VLIW slots must be 0..n-1, got %r" % slots)
+
+    @property
+    def n_units(self) -> int:
+        """Number of CGA functional units."""
+        return len(self.fus)
+
+    @property
+    def vliw_width(self) -> int:
+        """Number of VLIW issue slots."""
+        return sum(1 for fu in self.fus if fu.is_vliw)
+
+    @property
+    def vliw_fus(self) -> List[FunctionalUnit]:
+        """The VLIW-capable units, ordered by issue slot."""
+        return sorted((fu for fu in self.fus if fu.is_vliw), key=lambda f: f.vliw_slot)
+
+    @property
+    def cga_only_fus(self) -> List[FunctionalUnit]:
+        """Units that participate only in CGA mode."""
+        return [fu for fu in self.fus if not fu.is_vliw]
+
+    def fus_supporting(self, op: Opcode) -> List[int]:
+        """Indices of the units able to execute *op*."""
+        return [fu.index for fu in self.fus if fu.supports(op)]
+
+    def fus_with_group(self, group: OpGroup) -> List[int]:
+        """Indices of the units implementing operation group *group*."""
+        return [fu.index for fu in self.fus if group in fu.groups]
+
+    @property
+    def peak_gops_16bit(self) -> float:
+        """Peak 16-bit GOPS: units x SIMD lanes x clock."""
+        return self.n_units * 4 * self.clock_hz / 1e9
+
+    def summary(self) -> str:
+        """One-paragraph description used by the benchmark harness."""
+        return (
+            "%s: %dx%d CGA (%d units, %d VLIW slots), CDRF %dx%d-bit %dR/%dW, "
+            "L1 %d KB / %d banks, I$ %d KB, %d config contexts, %.0f MHz, "
+            "peak %.1f GOPS (16-bit)"
+            % (
+                self.name,
+                self.rows,
+                self.cols,
+                self.n_units,
+                self.vliw_width,
+                self.cdrf.entries,
+                self.cdrf.width,
+                self.cdrf.read_ports,
+                self.cdrf.write_ports,
+                self.l1.bytes // 1024,
+                self.l1.banks,
+                self.icache.bytes // 1024,
+                self.config_memory_contexts,
+                self.clock_hz / 1e6,
+                self.peak_gops_16bit,
+            )
+        )

@@ -1,0 +1,135 @@
+"""Concrete machine instances, including the exact configuration of the paper."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.arch.config import CgaArchitecture
+from repro.arch.resources import FunctionalUnit, MemorySpec, RegisterFileSpec
+from repro.arch.topology import Interconnect, full_topology, mesh_plus_topology
+from repro.isa.opcodes import OpGroup
+
+#: Groups implemented by every unit of the array (Table 1, "0-15").
+_COMMON_GROUPS: FrozenSet[OpGroup] = frozenset(
+    {
+        OpGroup.ARITH,
+        OpGroup.LOGIC,
+        OpGroup.SHIFT,
+        OpGroup.COMP,
+        OpGroup.PRED,
+        OpGroup.MUL,
+        OpGroup.SIMD1,
+        OpGroup.SIMD2,
+    }
+)
+
+
+def _paper_fu(index: int, local_rf_entries: int) -> FunctionalUnit:
+    """Build one FU of the paper core according to Table 1's FU ranges."""
+    groups = set(_COMMON_GROUPS)
+    if index == 0:
+        groups.add(OpGroup.BRANCH)
+        groups.add(OpGroup.CONTROL)
+    if index <= 3:
+        groups.add(OpGroup.LDMEM)
+        groups.add(OpGroup.STMEM)
+    if index <= 1:
+        groups.add(OpGroup.DIV)
+    is_vliw = index < 3
+    local_rf = None
+    if not is_vliw:
+        local_rf = RegisterFileSpec(
+            name="lrf%d" % index,
+            entries=local_rf_entries,
+            width=64,
+            read_ports=2,
+            write_ports=1,
+        )
+    return FunctionalUnit(
+        index=index,
+        groups=frozenset(groups),
+        vliw_slot=index if is_vliw else None,
+        has_cdrf_port=is_vliw,
+        local_rf=local_rf,
+    )
+
+
+def paper_core(
+    name: str = "adres-sdr-4x4",
+    interconnect: Optional[Interconnect] = None,
+    local_rf_entries: int = 8,
+    config_memory_contexts: int = 128,
+) -> CgaArchitecture:
+    """The processor of the paper.
+
+    * 4x4 array of 64-bit 4-way-SIMD units;
+    * units 0-2 double as the 3-issue VLIW and hold 2R/1W ports into the
+      shared register files; the 13 others carry local 2R/1W files;
+    * unit 0 executes branches, units 0-3 load/store (one L1 port each),
+      units 0-1 embed the two hardwired 24-bit dividers;
+    * 64x64-bit 6R/3W central data RF + 64x1-bit predicate RF;
+    * 16K x 32-bit (64 KB) L1 scratchpad in 4 single-ported banks;
+    * 32 KB direct-mapped I$ with 128-bit lines;
+    * ultra-wide configuration memory, one context per CGA cycle;
+    * 400 MHz worst-case clock (25.6 GOPS peak at 16-bit).
+    """
+    rows = cols = 4
+    fus = tuple(_paper_fu(i, local_rf_entries) for i in range(rows * cols))
+    return CgaArchitecture(
+        name=name,
+        rows=rows,
+        cols=cols,
+        fus=fus,
+        interconnect=interconnect or mesh_plus_topology(rows, cols),
+        cdrf=RegisterFileSpec("cdrf", entries=64, width=64, read_ports=6, write_ports=3),
+        cprf=RegisterFileSpec("cprf", entries=64, width=1, read_ports=6, write_ports=3),
+        local_rf_entries=local_rf_entries,
+        l1=MemorySpec("l1", words=4096, width=32, banks=4),
+        icache=MemorySpec("icache", words=2048, width=128),
+        config_memory_contexts=config_memory_contexts,
+        clock_hz=400_000_000,
+    )
+
+
+def small_test_core(name: str = "test-2x2") -> CgaArchitecture:
+    """A small 2x2 instance for fast unit tests.
+
+    One VLIW slot (unit 0, which also branches, loads/stores and
+    divides); all-to-all interconnect so routing never limits the tests
+    that target other subsystems.
+    """
+    rows = cols = 2
+
+    def build(index: int) -> FunctionalUnit:
+        groups = set(_COMMON_GROUPS)
+        if index == 0:
+            groups |= {OpGroup.BRANCH, OpGroup.CONTROL, OpGroup.DIV}
+        if index <= 1:
+            groups |= {OpGroup.LDMEM, OpGroup.STMEM}
+        is_vliw = index == 0
+        local_rf = None
+        if not is_vliw:
+            local_rf = RegisterFileSpec("lrf%d" % index, 8, 64, 2, 1)
+        return FunctionalUnit(
+            index=index,
+            groups=frozenset(groups),
+            vliw_slot=0 if is_vliw else None,
+            has_cdrf_port=is_vliw,
+            local_rf=local_rf,
+        )
+
+    fus = tuple(build(i) for i in range(rows * cols))
+    return CgaArchitecture(
+        name=name,
+        rows=rows,
+        cols=cols,
+        fus=fus,
+        interconnect=full_topology(rows * cols),
+        cdrf=RegisterFileSpec("cdrf", 64, 64, 6, 3),
+        cprf=RegisterFileSpec("cprf", 64, 1, 6, 3),
+        local_rf_entries=8,
+        l1=MemorySpec("l1", words=1024, width=32, banks=4),
+        icache=MemorySpec("icache", words=256, width=128),
+        config_memory_contexts=64,
+        clock_hz=400_000_000,
+    )

@@ -1,0 +1,102 @@
+"""Datapath resource descriptions: functional units, register files, memories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.isa.opcodes import Opcode, OpGroup, group_of
+
+
+@dataclass(frozen=True)
+class RegisterFileSpec:
+    """A register file macro.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in statistics and the area/power models.
+    entries:
+        Number of registers.
+    width:
+        Bits per register.
+    read_ports / write_ports:
+        Port counts; the paper's central data register file is 6R/3W,
+        the predicate file mirrors it at 1-bit width, and the CGA local
+        files are 2R/1W.
+    """
+
+    name: str
+    entries: int
+    width: int
+    read_ports: int
+    write_ports: int
+
+    @property
+    def bits(self) -> int:
+        """Total storage bits."""
+        return self.entries * self.width
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """An SRAM macro (scratchpad bank, I$ array, configuration memory)."""
+
+    name: str
+    words: int
+    width: int
+    banks: int = 1
+
+    @property
+    def bits(self) -> int:
+        """Total storage bits over all banks."""
+        return self.words * self.width * self.banks
+
+    @property
+    def bytes(self) -> int:
+        """Total storage bytes over all banks."""
+        return self.bits // 8
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """One 64-bit 4-way SIMD functional unit of the array.
+
+    Attributes
+    ----------
+    index:
+        Position in the array, row-major (0..15 for the paper core).
+    groups:
+        Operation groups this unit implements (Table 1 column "# FUs").
+    vliw_slot:
+        Issue-slot number when the unit participates in VLIW mode
+        (``None`` for CGA-only units).  VLIW units read and write the
+        central register files directly.
+    has_cdrf_port:
+        True when the unit has a 2-read/1-write port pair into the
+        central data/predicate register files while in CGA mode.  In the
+        paper these are the same three units that form the VLIW.
+    local_rf:
+        The unit's private register file (``None`` for units that use
+        the central file instead).
+    """
+
+    index: int
+    groups: FrozenSet[OpGroup]
+    vliw_slot: Optional[int] = None
+    has_cdrf_port: bool = False
+    local_rf: Optional[RegisterFileSpec] = None
+
+    def supports(self, op: Opcode) -> bool:
+        """True when this unit can execute *op*."""
+        return group_of(op) in self.groups
+
+    @property
+    def is_vliw(self) -> bool:
+        """True when the unit doubles as a VLIW issue slot."""
+        return self.vliw_slot is not None
+
+    @property
+    def can_load_store(self) -> bool:
+        """True when the unit has an L1 port (load/store capable)."""
+        return OpGroup.LDMEM in self.groups or OpGroup.STMEM in self.groups

@@ -1,0 +1,361 @@
+"""The kernel DSL: how baseband kernels are authored ("C with intrinsics").
+
+:class:`KernelBuilder` builds loop-body DFGs the way the paper's C code
+uses SIMD intrinsics: scalar expressions map to basic 32-bit ops,
+``c4``/``d4`` calls map to the SIMD instruction groups, inductions and
+accumulators become distance-1 recurrences.
+
+:class:`VliwBuilder` builds non-kernel code (the paper's VLIW-mode
+kernels and glue): straight-line operations over virtual registers plus
+counted loops, later list-scheduled into 3-issue bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.dfg import CompileError, Const, Dfg, LiveIn, NodeRef, Operand
+from repro.isa.opcodes import Opcode
+
+
+def _as_operand(value: Union[Operand, int]) -> Operand:
+    if isinstance(value, int):
+        return Const(value)
+    return value
+
+
+class KernelBuilder:
+    """Fluent construction of loop-body DFGs.
+
+    Example — a fixed-point scale-and-accumulate loop::
+
+        kb = KernelBuilder("scale_acc")
+        base = kb.live_in("src")
+        i = kb.induction(init=0, step=8)          # byte offset, 64-bit data
+        addr = kb.add(base, i)
+        x = kb.load(Opcode.LD_Q, addr)
+        y = kb.op(Opcode.D4PROD, x, kb.live_in("coeff"))
+        acc = kb.accumulate(Opcode.C4ADD, y, init=0, live_out="sum")
+        dfg = kb.finish()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.dfg = Dfg(name)
+
+    # -- operands ------------------------------------------------------
+
+    def live_in(self, name: str) -> LiveIn:
+        """A loop-invariant input provided by the surrounding VLIW code."""
+        return self.dfg.declare_live_in(name)
+
+    def const(self, value: int) -> Const:
+        """A compile-time constant."""
+        return Const(value)
+
+    # -- generic operations --------------------------------------------
+
+    def op(
+        self,
+        opcode: Opcode,
+        *srcs: Union[Operand, int],
+        live_out: Optional[str] = None,
+        pred: Optional[Operand] = None,
+        pred_negate: bool = False,
+    ) -> NodeRef:
+        """Append an arbitrary dataflow operation."""
+        return self.dfg.add_node(
+            opcode,
+            [_as_operand(s) for s in srcs],
+            live_out=live_out,
+            pred=pred,
+            pred_negate=pred_negate,
+        )
+
+    # -- common scalar shorthands ----------------------------------------
+
+    def add(self, a, b, **kw) -> NodeRef:
+        """32-bit add."""
+        return self.op(Opcode.ADD, a, b, **kw)
+
+    def sub(self, a, b, **kw) -> NodeRef:
+        """32-bit subtract."""
+        return self.op(Opcode.SUB, a, b, **kw)
+
+    def mul(self, a, b, **kw) -> NodeRef:
+        """32-bit multiply (2-cycle)."""
+        return self.op(Opcode.MUL, a, b, **kw)
+
+    def shr(self, a, n, **kw) -> NodeRef:
+        """Arithmetic shift right."""
+        return self.op(Opcode.ASR, a, n, **kw)
+
+    def shl(self, a, n, **kw) -> NodeRef:
+        """Logical shift left."""
+        return self.op(Opcode.LSL, a, n, **kw)
+
+    # -- SIMD intrinsics (the paper's C intrinsic functions) -------------
+
+    def c4add(self, a, b, **kw) -> NodeRef:
+        """4x16 lane-wise add."""
+        return self.op(Opcode.C4ADD, a, b, **kw)
+
+    def c4sub(self, a, b, **kw) -> NodeRef:
+        """4x16 lane-wise subtract."""
+        return self.op(Opcode.C4SUB, a, b, **kw)
+
+    def d4prod(self, a, b, **kw) -> NodeRef:
+        """4x16 lane-wise fractional product (straight pairing)."""
+        return self.op(Opcode.D4PROD, a, b, **kw)
+
+    def c4prod(self, a, b, **kw) -> NodeRef:
+        """4x16 lane-wise fractional product (cross pairing)."""
+        return self.op(Opcode.C4PROD, a, b, **kw)
+
+    def c4shiftr(self, a, n, **kw) -> NodeRef:
+        """4x16 lane-wise arithmetic shift right."""
+        return self.op(Opcode.C4SHIFTR, a, n, **kw)
+
+    def c4swap16(self, a, **kw) -> NodeRef:
+        """Swap 16-bit lanes within each 32-bit pair."""
+        return self.op(Opcode.C4SWAP16, a, **kw)
+
+    def c4swap32(self, a, **kw) -> NodeRef:
+        """Swap the 32-bit halves."""
+        return self.op(Opcode.C4SWAP32, a, **kw)
+
+    def c4negb(self, a, **kw) -> NodeRef:
+        """Negate odd lanes (conjugate packed complex pairs)."""
+        return self.op(Opcode.C4NEGB, a, **kw)
+
+    def cmul(self, a, b) -> NodeRef:
+        """Packed complex multiply: two 16-bit complex pairs per operand.
+
+        Expands to the paper's d4prod/c4prod/c4sub/c4add idiom:
+        ``re = re_a*re_b - im_a*im_b`` in even lanes,
+        ``im = re_a*im_b + im_a*re_b`` in odd lanes.
+        """
+        direct = self.d4prod(a, b)  # |ra*rb|ia*ib|...|
+        cross = self.c4prod(a, b)  # |ra*ib|ia*rb|...|
+        re = self.c4sub(direct, self.c4swap16(direct))  # even lanes: ra*rb-ia*ib
+        im = self.c4add(cross, self.c4swap16(cross))  # odd lanes: ra*ib+ia*rb
+        # Merge: keep even lanes of re, odd lanes of im.
+        re_even = self.op(Opcode.C4AND, re, Const(0x0000_FFFF_0000_FFFF))
+        im_odd = self.op(Opcode.C4AND, im, Const(0xFFFF_0000_FFFF_0000))
+        return self.c4add(re_even, im_odd)
+
+    # -- recurrences -----------------------------------------------------
+
+    def induction(self, init: int, step: int, opcode: Opcode = Opcode.ADD) -> NodeRef:
+        """A loop induction: ``i_{k} = i_{k-1} + step`` with ``i_0 = init``.
+
+        Implemented as a self-recurrent add whose first iteration reads
+        ``init - step`` so the loop body always observes ``init + k*step``.
+        """
+        node = self.dfg.add_node(opcode, [Const(0), Const(step)])
+        # Patch the self-reference: src0 reads this node's own previous
+        # value, with a first-iteration init of init - step.
+        self_ref = NodeRef(node.node_id, distance=1, init=(init - step) & 0xFFFFFFFFFFFFFFFF)
+        self.dfg.nodes[node.node_id].srcs = (self_ref, Const(step))
+        return node
+
+    def accumulate(
+        self,
+        opcode: Opcode,
+        value: Union[Operand, int],
+        init: int = 0,
+        live_out: Optional[str] = None,
+        pred: Optional[Operand] = None,
+    ) -> NodeRef:
+        """An accumulator: ``acc = opcode(acc_prev, value)``; optional live-out."""
+        node = self.dfg.add_node(
+            opcode, [Const(0), _as_operand(value)], live_out=live_out, pred=pred
+        )
+        self_ref = NodeRef(node.node_id, distance=1, init=init)
+        self.dfg.nodes[node.node_id].srcs = (self_ref, _as_operand(value))
+        return node
+
+    def recurrence(self, ref: NodeRef, init: int) -> NodeRef:
+        """Reference *ref*'s value from the previous iteration."""
+        return NodeRef(ref.node_id, distance=1, init=init)
+
+    # -- memory ----------------------------------------------------------
+
+    def load(self, opcode: Opcode, addr: Union[Operand, int], offset: int = 0) -> NodeRef:
+        """Load through a computed address (offset folded as an immediate)."""
+        return self.op(opcode, addr, Const(offset))
+
+    def store(
+        self,
+        opcode: Opcode,
+        addr: Union[Operand, int],
+        value: Union[Operand, int],
+        offset: int = 0,
+        pred: Optional[Operand] = None,
+    ) -> NodeRef:
+        """Store *value* at a computed address."""
+        return self.op(opcode, addr, Const(offset), value, pred=pred)
+
+    # ---------------------------------------------------------------------
+
+    def finish(self) -> Dfg:
+        """Validate and return the DFG."""
+        self.dfg.validate()
+        return self.dfg
+
+
+# =======================================================================
+
+
+@dataclass(frozen=True)
+class VirtualReg:
+    """A virtual register of the VLIW section builder."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return "v%d" % self.index
+
+
+@dataclass(frozen=True)
+class PhysReg:
+    """A pre-assigned central register (the linker's calling convention)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return "R%d" % self.index
+
+
+@dataclass
+class VliwOp:
+    """One operation over virtual registers (pre-scheduling)."""
+
+    opcode: Opcode
+    dst: Optional[VirtualReg]
+    srcs: Tuple[object, ...]  # VirtualReg | int immediates
+    pred: Optional[VirtualReg] = None
+    pred_negate: bool = False
+    #: Marks loop-control ops emitted by counted_loop (branch machinery).
+    is_loop_ctrl: bool = False
+
+
+@dataclass
+class VliwSection:
+    """A structured VLIW region: straight-line ops and counted loops."""
+
+    name: str
+    items: List[object] = field(default_factory=list)  # VliwOp | VliwLoop
+
+
+@dataclass
+class VliwLoop:
+    """A counted loop of VLIW code (rolled; branch overhead is real)."""
+
+    trip_count: int
+    body: List[VliwOp]
+
+
+class VliwBuilder:
+    """Builds VLIW sections over virtual registers.
+
+    Virtual registers map 1:1 onto central registers at link time
+    (the sections in this reproduction are small enough to never exceed
+    the 64-entry file; the linker raises otherwise).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.section = VliwSection(name)
+        self._n_virtual = 0
+        self._loop_body: Optional[List[VliwOp]] = None
+
+    def reg(self) -> VirtualReg:
+        """Allocate a fresh virtual register."""
+        reg = VirtualReg(self._n_virtual)
+        self._n_virtual += 1
+        return reg
+
+    def shared_reg(self, key: str) -> VirtualReg:
+        """A virtual register reused across sequential code by name.
+
+        Safe because the list scheduler's hazard analysis serialises
+        conflicting uses; sharing keeps long sections (many copy loops)
+        within the physical register budget, just like a compiler's
+        register allocator would.
+        """
+        if not hasattr(self, "_shared"):
+            self._shared = {}
+        if key not in self._shared:
+            self._shared[key] = self.reg()
+        return self._shared[key]
+
+    def _emit(self, op: VliwOp) -> None:
+        if self._loop_body is not None:
+            self._loop_body.append(op)
+        else:
+            self.section.items.append(op)
+
+    def op(
+        self,
+        opcode: Opcode,
+        *srcs,
+        dst: Optional[VirtualReg] = None,
+        pred: Optional[VirtualReg] = None,
+        pred_negate: bool = False,
+    ) -> Optional[VirtualReg]:
+        """Emit one operation; allocates a destination when one is needed."""
+        from repro.isa.opcodes import OpGroup, group_of
+
+        needs_dst = dst is None and group_of(opcode) not in (
+            OpGroup.STMEM,
+            OpGroup.BRANCH,
+            OpGroup.CONTROL,
+        )
+        if needs_dst:
+            dst = self.reg()
+        self._emit(VliwOp(opcode, dst, tuple(srcs), pred, pred_negate))
+        return dst
+
+    def mov_imm(self, value: int) -> VirtualReg:
+        """Materialise an immediate into a register (add v, 0, imm)."""
+        return self.op(Opcode.ADD, 0, value)
+
+    def add(self, a, b) -> VirtualReg:
+        return self.op(Opcode.ADD, a, b)
+
+    def sub(self, a, b) -> VirtualReg:
+        return self.op(Opcode.SUB, a, b)
+
+    def load(self, opcode: Opcode, base, offset) -> VirtualReg:
+        return self.op(opcode, base, offset)
+
+    def store(self, opcode: Opcode, base, offset: int, value) -> None:
+        self.op(opcode, base, offset, value)
+
+    def counted_loop(self, trip_count: int) -> "_LoopContext":
+        """Open a counted loop: ``with vb.counted_loop(n): ...``."""
+        return _LoopContext(self, trip_count)
+
+    def finish(self) -> VliwSection:
+        """Return the section for scheduling."""
+        if self._loop_body is not None:
+            raise CompileError("unclosed loop in section %s" % self.section.name)
+        return self.section
+
+
+class _LoopContext:
+    def __init__(self, builder: VliwBuilder, trip_count: int) -> None:
+        self.builder = builder
+        self.trip_count = trip_count
+
+    def __enter__(self) -> None:
+        if self.builder._loop_body is not None:
+            raise CompileError("nested VLIW loops are not supported")
+        self.builder._loop_body = []
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        body = self.builder._loop_body
+        self.builder._loop_body = None
+        if exc_type is None:
+            self.builder.section.items.append(VliwLoop(self.trip_count, body))

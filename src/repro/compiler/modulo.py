@@ -1,0 +1,704 @@
+"""Modulo scheduling of loop DFGs onto the CGA (the DRESC core idea).
+
+The scheduler implements iterative modulo scheduling with explicit
+placement and routing, in the spirit of Mei et al. (the paper's ref [6]):
+
+1. compute the minimum initiation interval
+   ``MII = max(ResMII, RecMII)`` from resource pressure (16 units, 4
+   memory ports, 2 dividers) and recurrence cycles;
+2. for ``II = MII, MII+1, ...``: place operations one by one, highest
+   criticality first, onto ``(unit, cycle)`` slots of the modulo routing
+   resource graph; every data edge is *routed*: either the consumer
+   reads the producer's output latch directly over the interconnect
+   (possible while the value's latch live window can be extended), or
+   pass-through move operations (64-bit ``c4add x, 0``) are inserted to
+   re-latch the value closer in space or time;
+3. a few randomised restarts are attempted per II before giving up and
+   growing II.
+
+The result is a :class:`~repro.sim.program.CgaKernel` directly
+executable by the simulator, plus scheduling metadata (II, stages,
+inserted moves, utilization).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.config import CgaArchitecture
+from repro.compiler.dfg import CompileError, Const, Dfg, LiveIn, Node, NodeRef
+from repro.compiler.mrrg import Mrrg
+from repro.isa.bits import MASK64
+from repro.isa.opcodes import Opcode, OpGroup, group_of, latency_of
+from repro.sim.program import (
+    CgaContext,
+    CgaKernel,
+    CgaOp,
+    DstKind,
+    DstSel,
+    Preload,
+    SrcKind,
+    SrcSel,
+)
+
+#: Pass-through move: 64-bit lane add with zero (single cycle, any unit).
+MOVE_OPCODE = Opcode.C4ADD
+MOVE_LATENCY = 1
+
+
+@dataclass
+class _Placed:
+    uid: int
+    fu: int
+    time: int
+    opcode: Opcode
+
+    @property
+    def avail(self) -> int:
+        """Absolute cycle at which the result appears in the output latch."""
+        return self.time + latency_of(self.opcode)
+
+
+@dataclass
+class _Move:
+    uid: int
+    fu: int
+    time: int
+    read_fu: int  # latch this move reads (wire or self)
+    stage_key: int  # uid of the value's producing node (for diagnostics)
+
+
+@dataclass
+class _Resolution:
+    """How one consumer operand is fetched at run time."""
+
+    kind: str  # "imm" | "cdrf" | "lrf" | "latch"
+    value: int = 0  # immediate value / register index / entry
+    read_fu: int = -1  # latch source for "latch"
+    init: Optional[int] = None  # recurrence first-iteration value
+
+
+@dataclass
+class ScheduleResult:
+    """A successfully scheduled kernel plus metadata."""
+
+    kernel: CgaKernel
+    ii: int
+    stage_count: int
+    n_ops: int
+    n_moves: int
+    utilization: float
+    mii: int
+
+
+class _RouteFail(Exception):
+    pass
+
+
+class ModuloScheduler:
+    """Schedules one loop DFG onto one architecture."""
+
+    def __init__(
+        self,
+        dfg: Dfg,
+        arch: CgaArchitecture,
+        max_ii: int = 32,
+        restarts: int = 6,
+        seed: int = 0,
+    ) -> None:
+        self.dfg = dfg
+        self.arch = arch
+        self.max_ii = max_ii
+        self.restarts = restarts
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def min_ii(self) -> int:
+        """MII = max(ResMII, RecMII)."""
+        n_units = self.arch.n_units
+        n_mem_units = len(self.arch.fus_with_group(OpGroup.LDMEM))
+        n_div_units = len(self.arch.fus_with_group(OpGroup.DIV))
+        n_ops = self.dfg.op_count()
+        n_mem = self.dfg.mem_op_count()
+        n_div = sum(
+            1 for n in self.dfg.nodes.values() if n.group is OpGroup.DIV
+        )
+        # L1 bank pressure: 64-bit accesses claim two (adjacent) banks.
+        word_accesses = 0
+        for node in self.dfg.nodes.values():
+            if node.is_load or node.is_store:
+                word_accesses += 2 if node.opcode in (Opcode.LD_Q, Opcode.ST_Q) else 1
+        n_banks = self.arch.l1.banks
+        res_mii = max(
+            -(-n_ops // n_units),
+            -(-n_mem // max(n_mem_units, 1)) if n_mem else 1,
+            -(-n_div // max(n_div_units, 1)) if n_div else 1,
+            -(-word_accesses // n_banks) if word_accesses else 1,
+        )
+        return max(res_mii, self.dfg.recurrence_mii(), 1)
+
+    def schedule(
+        self,
+        live_in_regs: Optional[Dict[str, int]] = None,
+        live_out_regs: Optional[Dict[str, int]] = None,
+        trip_count: Optional[int] = None,
+        trip_count_reg: Optional[int] = None,
+    ) -> ScheduleResult:
+        """Schedule the DFG; returns the kernel and metadata.
+
+        *live_in_regs* / *live_out_regs* assign central registers to the
+        DFG's named live values (the linker's calling convention).
+        """
+        live_in_regs = dict(live_in_regs or {})
+        live_out_regs = dict(live_out_regs or {})
+        missing = [n for n in self.dfg.live_ins if n not in live_in_regs]
+        if missing:
+            raise CompileError("no central register for live-ins %r" % missing)
+        missing = [n for n in self.dfg.live_outs if n not in live_out_regs]
+        if missing:
+            raise CompileError("no central register for live-outs %r" % missing)
+
+        mii = self.min_ii()
+        last_error: Optional[Exception] = None
+        # Large DFGs take noticeably longer per attempt; fewer restarts
+        # per II keeps compile times reasonable at a minor II cost.
+        restarts = self.restarts if self.dfg.op_count() <= 60 else 2
+        for ii in range(mii, self.max_ii + 1):
+            for restart in range(restarts):
+                rng = random.Random(self.seed * 7919 + ii * 131 + restart)
+                try:
+                    return self._attempt(
+                        ii, mii, rng, live_in_regs, live_out_regs,
+                        trip_count, trip_count_reg,
+                    )
+                except CompileError as exc:
+                    last_error = exc
+        raise CompileError(
+            "kernel %s unschedulable up to II=%d: %s"
+            % (self.dfg.name, self.max_ii, last_error)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _priority_order(self, rng: random.Random) -> List[Node]:
+        """Topological order by descending height with seeded jitter."""
+        heights: Dict[int, int] = {}
+
+        def height(nid: int) -> int:
+            if nid in heights:
+                return heights[nid]
+            node = self.dfg.nodes[nid]
+            best = node.latency
+            for consumer, ref in self.dfg.consumers(nid):
+                if ref.distance == 0:
+                    best = max(best, node.latency + height(consumer.node_id))
+            heights[nid] = best
+            return best
+
+        for nid in self.dfg.nodes:
+            height(nid)
+        # Topological over distance-0 edges: node ids are already in
+        # creation order, and distance-0 refs always point backwards, so
+        # id order is a valid topological order.  Sort stably by height
+        # descending within windows of the topological order: schedule
+        # in id order but, among ready nodes, pick the tallest.
+        remaining = set(self.dfg.nodes)
+        placed: set = set()
+        order: List[Node] = []
+        while remaining:
+            ready = [
+                nid
+                for nid in remaining
+                if all(
+                    (not isinstance(s, NodeRef)) or s.distance == 1
+                    or s.node_id in placed
+                    for s in list(self.dfg.nodes[nid].srcs)
+                    + ([self.dfg.nodes[nid].pred] if self.dfg.nodes[nid].pred else [])
+                )
+            ]
+            if not ready:  # pragma: no cover - guarded by Dfg validation
+                raise CompileError("cyclic distance-0 dependences")
+            ready.sort(key=lambda nid: (-heights[nid], rng.random()))
+            pick = ready[0]
+            order.append(self.dfg.nodes[pick])
+            remaining.remove(pick)
+            placed.add(pick)
+        return order
+
+    def _candidate_fus(self, node: Node, rng: random.Random) -> List[int]:
+        fus = self.arch.fus_supporting(node.opcode)
+        mem_capable = set(self.arch.fus_with_group(OpGroup.LDMEM))
+        vliw = {fu.index for fu in self.arch.vliw_fus}
+
+        def klass(fu: int) -> int:
+            # Prefer plain units, keep memory units for memory ops and
+            # ported units for ops that need the central RF.
+            score = 0
+            if node.group not in (OpGroup.LDMEM, OpGroup.STMEM) and fu in mem_capable:
+                score += 2
+            needs_cdrf = node.live_out is not None or any(
+                isinstance(s, LiveIn) for s in node.srcs
+            )
+            if needs_cdrf and fu in vliw:
+                score -= 1  # being on a ported unit avoids extra moves
+            elif fu in vliw:
+                score += 1
+            return score
+
+        ordered = sorted(fus, key=lambda fu: (klass(fu), rng.random()))
+        return ordered
+
+    # ------------------------------------------------------------------
+
+    def _attempt(
+        self,
+        ii: int,
+        mii: int,
+        rng: random.Random,
+        live_in_regs: Dict[str, int],
+        live_out_regs: Dict[str, int],
+        trip_count: Optional[int],
+        trip_count_reg: Optional[int],
+    ) -> ScheduleResult:
+        mrrg = Mrrg(self.arch, ii)
+        placements: Dict[int, _Placed] = {}
+        moves: List[_Move] = []
+        resolutions: Dict[Tuple[int, object], _Resolution] = {}
+        liveout_moves: Dict[int, _Move] = {}  # node id -> final move with CDRF write
+        move_uid = [10_000]
+
+        order = self._priority_order(rng)
+        window = 2 * ii + 8
+        _asap, alap = self.dfg.asap_alap()
+        for node in order:
+            self._place_one(
+                node, ii, mrrg, placements, moves, resolutions, liveout_moves,
+                move_uid, window, rng, alap,
+            )
+        return self._emit(
+            ii, mii, mrrg, placements, moves, resolutions, liveout_moves,
+            live_in_regs, live_out_regs, trip_count, trip_count_reg,
+        )
+
+    def _operands(self, node: Node) -> List[Tuple[object, object]]:
+        """(key, operand) pairs including the guard predicate."""
+        out: List[Tuple[object, object]] = [
+            (i, src) for i, src in enumerate(node.srcs)
+        ]
+        if node.pred is not None:
+            out.append(("pred", node.pred))
+        return out
+
+    def _place_one(
+        self,
+        node: Node,
+        ii: int,
+        mrrg: Mrrg,
+        placements: Dict[int, _Placed],
+        moves: List[_Move],
+        resolutions: Dict[Tuple[int, object], _Resolution],
+        liveout_moves: Dict[int, _Move],
+        move_uid: List[int],
+        window: int,
+        rng: random.Random,
+        alap: Optional[Dict[int, int]] = None,
+    ) -> None:
+        lat = node.latency
+        earliest = 0
+        for _key, ref in self._operands(node):
+            if isinstance(ref, NodeRef) and ref.node_id in placements:
+                p = placements[ref.node_id]
+                earliest = max(earliest, p.avail - ref.distance * ii)
+        deadline = earliest + window
+        for consumer, ref in self.dfg.consumers(node.node_id):
+            if consumer.node_id in placements and consumer.node_id != node.node_id:
+                c = placements[consumer.node_id]
+                deadline = min(deadline, c.time + ref.distance * ii - lat)
+        if deadline < earliest:
+            raise CompileError(
+                "node %d (%s): empty scheduling window"
+                % (node.node_id, node.opcode.value)
+            )
+
+        # Prefer times near the node's static ALAP so short side chains
+        # (address generation) land next to their consumers instead of
+        # at the top of the schedule, which would make their values
+        # unroutably stale by the time the consumer reads them.
+        target = max(earliest, alap.get(node.node_id, earliest) if alap else earliest)
+        target = min(target, deadline)
+        times = sorted(range(earliest, deadline + 1), key=lambda t: (abs(t - target), t))
+
+        produces = not node.is_store
+        fus = self._candidate_fus(node, rng)
+        for t in times:
+            for fu in fus:
+                if not mrrg.slot_free(fu, t):
+                    continue
+                if produces and not mrrg.commit_free(fu, t + lat):
+                    continue
+                snap = mrrg.checkpoint()
+                moves_snap = len(moves)
+                res_snap = dict(resolutions)
+                lo_snap = dict(liveout_moves)
+                try:
+                    self._commit_placement(
+                        node, fu, t, ii, mrrg, placements, moves,
+                        resolutions, liveout_moves, move_uid,
+                    )
+                    return
+                except (_RouteFail, CompileError):
+                    mrrg.restore(snap)
+                    placements.pop(node.node_id, None)
+                    del moves[moves_snap:]
+                    resolutions.clear()
+                    resolutions.update(res_snap)
+                    liveout_moves.clear()
+                    liveout_moves.update(lo_snap)
+        raise CompileError(
+            "node %d (%s): no feasible placement at II=%d"
+            % (node.node_id, node.opcode.value, ii)
+        )
+
+    def _commit_placement(
+        self,
+        node: Node,
+        fu: int,
+        t: int,
+        ii: int,
+        mrrg: Mrrg,
+        placements: Dict[int, _Placed],
+        moves: List[_Move],
+        resolutions: Dict[Tuple[int, object], _Resolution],
+        liveout_moves: Dict[int, _Move],
+        move_uid: List[int],
+    ) -> None:
+        lat = node.latency
+        mrrg.claim_slot(fu, t, node.node_id)
+        produces = not node.is_store
+        if produces:
+            mrrg.claim_commit(fu, t + lat)
+        placed = _Placed(node.node_id, fu, t, node.opcode)
+
+        # Resolve this node's operands.
+        for key, ref in self._operands(node):
+            if isinstance(ref, Const):
+                resolutions[(node.node_id, key)] = _Resolution(
+                    "imm", ref.value & MASK64
+                )
+            elif isinstance(ref, LiveIn):
+                if self.arch.fus[fu].has_cdrf_port:
+                    if not mrrg.cdrf_read_free(t):
+                        raise _RouteFail()
+                    mrrg.claim_cdrf_read(t)
+                    resolutions[(node.node_id, key)] = _Resolution(
+                        "cdrf:%s" % ref.name, 0, fu
+                    )
+                else:
+                    if not mrrg.lrf_alloc_free(fu, ref.name):
+                        raise _RouteFail()
+                    entry = mrrg.claim_lrf(fu, ref.name)
+                    resolutions[(node.node_id, key)] = _Resolution(
+                        "lrf:%s" % ref.name, entry, fu
+                    )
+            elif isinstance(ref, NodeRef):
+                if ref.node_id == node.node_id:
+                    producer: _Placed = placed
+                elif ref.node_id in placements:
+                    producer = placements[ref.node_id]
+                else:
+                    # Back edge whose producer is not placed yet; the
+                    # producer resolves it when it is placed.
+                    continue
+                read_time = t + ref.distance * ii
+                read_fu = self._route(
+                    producer, fu, read_time, ii, mrrg, moves, move_uid,
+                    value_uid=producer.uid,
+                )
+                resolutions[(node.node_id, key)] = _Resolution(
+                    "latch", 0, read_fu, init=ref.init
+                )
+
+        placements[node.node_id] = placed
+
+        # Resolve back edges into already-placed consumers.
+        for consumer, ref in self.dfg.consumers(node.node_id):
+            if consumer.node_id == node.node_id:
+                continue
+            if consumer.node_id not in placements:
+                continue
+            c = placements[consumer.node_id]
+            # Identify the operand keys of this edge.
+            for key, operand in self._operands(consumer):
+                if (
+                    isinstance(operand, NodeRef)
+                    and operand.node_id == node.node_id
+                    and (consumer.node_id, key) not in resolutions
+                ):
+                    read_time = c.time + operand.distance * ii
+                    read_fu = self._route(
+                        placed, c.fu, read_time, ii, mrrg, moves, move_uid,
+                        value_uid=node.node_id,
+                    )
+                    resolutions[(consumer.node_id, key)] = _Resolution(
+                        "latch", 0, read_fu, init=operand.init
+                    )
+
+        # Live-out write-back.
+        if node.live_out is not None:
+            if self.arch.fus[fu].has_cdrf_port:
+                mrrg.claim_cdrf_write(t + lat)
+            else:
+                self._place_liveout_move(
+                    node, placed, ii, mrrg, moves, liveout_moves, move_uid
+                )
+
+    # ------------------------------------------------------------------
+
+    def _route(
+        self,
+        producer: _Placed,
+        dst_fu: int,
+        read_time: int,
+        ii: int,
+        mrrg: Mrrg,
+        moves: List[_Move],
+        move_uid: List[int],
+        value_uid: int,
+    ) -> int:
+        """Route *producer*'s value so *dst_fu* can read it at *read_time*.
+
+        Returns the FU whose latch the consumer reads.  Claims all
+        resources (window extensions, move slots/commits).  Raises
+        :class:`_RouteFail` when no route exists.
+        """
+        ic = self.arch.interconnect
+        avail = producer.avail
+        if read_time < avail:
+            raise _RouteFail()
+
+        def reaches(src_fu: int) -> bool:
+            return src_fu == dst_fu or ic.connected(src_fu, dst_fu)
+
+        # Direct read from the producer's latch.
+        slack = read_time - avail
+        if reaches(producer.fu) and slack <= ii - 1:
+            if mrrg.can_extend_window(producer.fu, avail, slack):
+                mrrg.extend_window(producer.fu, avail, slack)
+                return producer.fu
+
+        # Breadth-first search over re-latching moves (bounded depth).
+        # State: (n_moves, fu, avail); explore a few re-latch times per hop.
+        best: Optional[List[Tuple[int, int, int]]] = None  # [(fu, t_m, from_fu)]
+        frontier: List[Tuple[int, int, int, List[Tuple[int, int, int]]]] = [
+            (0, producer.fu, avail, [])
+        ]
+        visited = {(producer.fu, avail)}
+        while frontier:
+            n_moves, cur_fu, cur_avail, path = frontier.pop(0)
+            if n_moves >= 3:
+                continue
+            for nxt_fu in sorted(ic.successors(cur_fu)):
+                # Candidate re-latch times: as early as possible first.
+                t_lo = cur_avail
+                t_hi = min(cur_avail + ii - 1, read_time - MOVE_LATENCY)
+                found_t = None
+                for t_m in range(t_lo, t_hi + 1):
+                    if not mrrg.slot_free(nxt_fu, t_m):
+                        continue
+                    if not mrrg.commit_free(nxt_fu, t_m + MOVE_LATENCY):
+                        continue
+                    if not mrrg.can_extend_window(cur_fu, cur_avail, t_m - cur_avail):
+                        continue
+                    found_t = t_m
+                    break
+                if found_t is None:
+                    continue
+                new_avail = found_t + MOVE_LATENCY
+                state = (nxt_fu, new_avail)
+                if state in visited:
+                    continue
+                visited.add(state)
+                new_path = path + [(nxt_fu, found_t, cur_fu)]
+                final_slack = read_time - new_avail
+                if reaches(nxt_fu) and 0 <= final_slack <= ii - 1:
+                    if mrrg.can_extend_window(nxt_fu, new_avail, final_slack):
+                        best = new_path
+                        break
+                frontier.append((n_moves + 1, nxt_fu, new_avail, new_path))
+            if best is not None:
+                break
+        if best is None:
+            raise _RouteFail()
+        # Claim the route.
+        prev_fu, prev_avail = producer.fu, avail
+        for hop_fu, t_m, from_fu in best:
+            mrrg.extend_window(prev_fu, prev_avail, t_m - prev_avail)
+            mrrg.claim_slot(hop_fu, t_m, move_uid[0])
+            mrrg.claim_commit(hop_fu, t_m + MOVE_LATENCY)
+            moves.append(_Move(move_uid[0], hop_fu, t_m, prev_fu, value_uid))
+            move_uid[0] += 1
+            prev_fu, prev_avail = hop_fu, t_m + MOVE_LATENCY
+        final_slack = read_time - prev_avail
+        mrrg.extend_window(prev_fu, prev_avail, final_slack)
+        return prev_fu
+
+    def _place_liveout_move(
+        self,
+        node: Node,
+        placed: _Placed,
+        ii: int,
+        mrrg: Mrrg,
+        moves: List[_Move],
+        liveout_moves: Dict[int, _Move],
+        move_uid: List[int],
+    ) -> None:
+        """Route a live-out value to a CDRF-ported unit and write it there."""
+        ic = self.arch.interconnect
+        avail = placed.avail
+        for vliw_fu in [fu.index for fu in self.arch.vliw_fus]:
+            if not (vliw_fu == placed.fu or ic.connected(placed.fu, vliw_fu)):
+                continue
+            for t_m in range(avail, avail + ii):
+                if not mrrg.slot_free(vliw_fu, t_m):
+                    continue
+                if not mrrg.commit_free(vliw_fu, t_m + MOVE_LATENCY):
+                    continue
+                if not mrrg.cdrf_write_free(t_m + MOVE_LATENCY):
+                    continue
+                if not mrrg.can_extend_window(placed.fu, avail, t_m - avail):
+                    continue
+                mrrg.extend_window(placed.fu, avail, t_m - avail)
+                mrrg.claim_slot(vliw_fu, t_m, move_uid[0])
+                mrrg.claim_commit(vliw_fu, t_m + MOVE_LATENCY)
+                mrrg.claim_cdrf_write(t_m + MOVE_LATENCY)
+                move = _Move(move_uid[0], vliw_fu, t_m, placed.fu, node.node_id)
+                moves.append(move)
+                liveout_moves[node.node_id] = move
+                move_uid[0] += 1
+                return
+        raise _RouteFail()
+
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        ii: int,
+        mii: int,
+        mrrg: Mrrg,
+        placements: Dict[int, _Placed],
+        moves: List[_Move],
+        resolutions: Dict[Tuple[int, object], _Resolution],
+        liveout_moves: Dict[int, _Move],
+        live_in_regs: Dict[str, int],
+        live_out_regs: Dict[str, int],
+        trip_count: Optional[int],
+        trip_count_reg: Optional[int],
+    ) -> ScheduleResult:
+        max_time = 0
+        for p in placements.values():
+            max_time = max(max_time, p.time)
+        for m in moves:
+            max_time = max(max_time, m.time)
+        stage_count = max_time // ii + 1
+
+        contexts = [CgaContext() for _ in range(ii)]
+
+        def src_sel(res: _Resolution, self_fu: int) -> SrcSel:
+            if res.kind == "imm":
+                return SrcSel.imm(res.value)
+            if res.kind.startswith("cdrf:"):
+                name = res.kind.split(":", 1)[1]
+                return SrcSel.cdrf(live_in_regs[name])
+            if res.kind.startswith("lrf:"):
+                return SrcSel.lrf(res.value)
+            if res.kind == "latch":
+                base = (
+                    SrcSel.self_() if res.read_fu == self_fu else SrcSel.wire(res.read_fu)
+                )
+                if res.init is not None:
+                    base = base.with_init(res.init)
+                return base
+            raise CompileError("unresolved operand (%s)" % res.kind)
+
+        for node in self.dfg.nodes.values():
+            p = placements[node.node_id]
+            phase, stage = p.time % ii, p.time // ii
+            srcs = []
+            for i in range(len(node.srcs)):
+                res = resolutions.get((node.node_id, i))
+                if res is None:
+                    raise CompileError(
+                        "operand %d of node %d unresolved" % (i, node.node_id)
+                    )
+                srcs.append(src_sel(res, p.fu))
+            pred_sel = None
+            if node.pred is not None:
+                res = resolutions.get((node.node_id, "pred"))
+                if res is None:
+                    raise CompileError("guard of node %d unresolved" % node.node_id)
+                pred_sel = src_sel(res, p.fu)
+            dsts: List[DstSel] = []
+            if node.live_out is not None and node.node_id not in liveout_moves:
+                dsts.append(
+                    DstSel(
+                        DstKind.CDRF,
+                        live_out_regs[node.live_out],
+                        last_iteration_only=True,
+                    )
+                )
+            contexts[phase].ops[p.fu] = CgaOp(
+                opcode=node.opcode,
+                srcs=tuple(srcs),
+                dsts=tuple(dsts),
+                stage=stage,
+                pred=pred_sel,
+                pred_negate=node.pred_negate,
+            )
+
+        for m in moves:
+            phase, stage = m.time % ii, m.time // ii
+            src = SrcSel.self_() if m.read_fu == m.fu else SrcSel.wire(m.read_fu)
+            dsts = []
+            for nid, lom in liveout_moves.items():
+                if lom.uid == m.uid:
+                    name = self.dfg.nodes[nid].live_out
+                    dsts.append(
+                        DstSel(
+                            DstKind.CDRF,
+                            live_out_regs[name],
+                            last_iteration_only=True,
+                        )
+                    )
+            contexts[phase].ops[m.fu] = CgaOp(
+                opcode=MOVE_OPCODE,
+                srcs=(src, SrcSel.imm(0)),
+                dsts=tuple(dsts),
+                stage=stage,
+            )
+
+        preloads = [
+            Preload(fu, entry, live_in_regs[name.split(":", 1)[-1] if ":" in name else name])
+            for fu, entry, name in mrrg.preload_list()
+        ]
+
+        kernel = CgaKernel(
+            name=self.dfg.name,
+            ii=ii,
+            stage_count=stage_count,
+            contexts=contexts,
+            trip_count=trip_count,
+            trip_count_reg=trip_count_reg,
+            preloads=preloads,
+        )
+        return ScheduleResult(
+            kernel=kernel,
+            ii=ii,
+            stage_count=stage_count,
+            n_ops=len(placements),
+            n_moves=len(moves),
+            utilization=mrrg.utilization(),
+            mii=mii,
+        )

@@ -1,0 +1,39 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+One entry point per experiment:
+
+* :func:`~repro.eval.tables.table1_text` — the instruction set table,
+  printed from the live ISA definition;
+* :func:`~repro.eval.tables.table2_report` — kernel-by-kernel profiling
+  of the MIMO-OFDM program, measured against the paper's rows;
+* :func:`~repro.eval.tables.table3_report` — mode power, calibrated once
+  and applied to the measured activity;
+* :func:`~repro.eval.tables.fig5_report` — the area breakdown;
+* :func:`~repro.eval.tables.fig6_report` — per-mode power breakdowns;
+* :func:`~repro.eval.tables.headline_report` — 25.6 GOPS peak, real-time
+  feasibility and the 100 Mbps+ throughput claim.
+
+:func:`~repro.eval.tables.run_reference_modem` produces the packet run
+all of the above share (the equivalent of the paper's profiled
+reference program execution).
+"""
+
+from repro.eval.tables import (
+    run_reference_modem,
+    table1_text,
+    table2_report,
+    table3_report,
+    fig5_report,
+    fig6_report,
+    headline_report,
+)
+
+__all__ = [
+    "run_reference_modem",
+    "table1_text",
+    "table2_report",
+    "table3_report",
+    "fig5_report",
+    "fig6_report",
+    "headline_report",
+]

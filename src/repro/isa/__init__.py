@@ -1,0 +1,45 @@
+"""Instruction set architecture of the hybrid CGA-SIMD processor (Table 1).
+
+The ISA is defined in three layers:
+
+* :mod:`repro.isa.opcodes` — the opcode enumeration with per-group
+  metadata (operand width, latency, which functional units implement it);
+* :mod:`repro.isa.instruction` — the :class:`Instruction` container used
+  by the compiler, assembler and simulator;
+* :mod:`repro.isa.semantics` — bit-accurate execution semantics for every
+  opcode, shared by the functional simulator and by unit tests.
+
+An assembler / disassembler pair (:mod:`repro.isa.assembler`) round-trips
+a human-readable assembly syntax.
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    OpGroup,
+    GROUP_INFO,
+    latency_of,
+    group_of,
+    ops_in_group,
+)
+from repro.isa.instruction import Instruction, Operand, Reg, PredReg, Imm
+from repro.isa.semantics import execute, ExecutionError
+from repro.isa.assembler import assemble, assemble_line, disassemble
+
+__all__ = [
+    "Opcode",
+    "OpGroup",
+    "GROUP_INFO",
+    "latency_of",
+    "group_of",
+    "ops_in_group",
+    "Instruction",
+    "Operand",
+    "Reg",
+    "PredReg",
+    "Imm",
+    "execute",
+    "ExecutionError",
+    "assemble",
+    "assemble_line",
+    "disassemble",
+]

@@ -1,0 +1,120 @@
+"""Textual assembly for the Table 1 ISA.
+
+Syntax (one instruction per line)::
+
+    add r3, r1, r2          ; r3 = r1 + r2
+    ld_c2 r4, r10, #8       ; r4 = sext16(mem16[r10 + 8<<1])
+    (p1) st_i r10, #0, r4   ; predicated store
+    (!p2) br #-12           ; negated guard, PC-relative branch
+    c4prod r5, r6, r7       ; 4x16 cross product
+    cga #0                  ; enter CGA mode running kernel 0
+    halt
+
+Comments start with ``;`` or ``#`` at line start.  Operand forms:
+``rN`` (central data register), ``pN`` (predicate register), ``#imm``
+(immediate, decimal or 0x hex).  The disassembler is the exact inverse
+of the assembler (``assemble(disassemble(i)) == i``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import Imm, Instruction, Operand, PredReg, Reg
+from repro.isa.opcodes import Opcode, OpGroup, group_of
+
+_MNEMONICS = {op.value: op for op in Opcode}
+
+_PRED_RE = re.compile(r"^\((!?)(p\d+)\)\s*(.*)$")
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly text."""
+
+
+def _parse_operand(token: str) -> Operand:
+    token = token.strip()
+    if re.fullmatch(r"r\d+", token):
+        return Reg(int(token[1:]))
+    if re.fullmatch(r"p\d+", token):
+        return PredReg(int(token[1:]))
+    if token.startswith("#"):
+        body = token[1:]
+        try:
+            return Imm(int(body, 0))
+        except ValueError as exc:
+            raise AssemblyError("bad immediate: %r" % token) from exc
+    raise AssemblyError("unrecognised operand: %r" % token)
+
+
+def _operand_shape(op: Opcode) -> Tuple[bool, int]:
+    """Return (has_dst, n_srcs) for the canonical textual form of *op*."""
+    group = group_of(op)
+    if op is Opcode.NOP:
+        return (False, 0)
+    if op in (Opcode.HALT,):
+        return (False, 0)
+    if op is Opcode.CGA:
+        return (False, 1)
+    if op in (Opcode.PRED_CLEAR, Opcode.PRED_SET):
+        return (True, 0)
+    if group is OpGroup.STMEM:
+        # st_* base, offset, value
+        return (False, 3)
+    if group is OpGroup.BRANCH:
+        if op in (Opcode.JMP, Opcode.BR):
+            return (False, 1)
+        return (True, 1)  # link register is the textual dst
+    if op in (Opcode.C4SWAP32, Opcode.C4SWAP16, Opcode.C4NEGB):
+        return (True, 1)
+    return (True, 2)
+
+
+def assemble_line(line: str) -> Optional[Instruction]:
+    """Assemble one line of text; returns ``None`` for blank/comment lines."""
+    text = line.split(";")[0].strip()
+    if not text or text.startswith("#"):
+        return None
+    pred: Optional[Operand] = None
+    pred_negate = False
+    match = _PRED_RE.match(text)
+    if match:
+        pred_negate = match.group(1) == "!"
+        pred = _parse_operand(match.group(2))
+        text = match.group(3)
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    if mnemonic not in _MNEMONICS:
+        raise AssemblyError("unknown mnemonic: %r" % mnemonic)
+    op = _MNEMONICS[mnemonic]
+    operands: List[Operand] = []
+    if len(parts) > 1:
+        operands = [_parse_operand(tok) for tok in parts[1].split(",") if tok.strip()]
+    has_dst, n_srcs = _operand_shape(op)
+    expected = (1 if has_dst else 0) + n_srcs
+    if len(operands) != expected:
+        raise AssemblyError(
+            "%s expects %d operand(s), got %d" % (mnemonic, expected, len(operands))
+        )
+    dst = operands[0] if has_dst else None
+    srcs = tuple(operands[1:] if has_dst else operands)
+    return Instruction(op, dst=dst, srcs=srcs, pred=pred, pred_negate=pred_negate)
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble a multi-line program into a list of instructions."""
+    out: List[Instruction] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            inst = assemble_line(line)
+        except AssemblyError as exc:
+            raise AssemblyError("line %d: %s" % (lineno, exc)) from exc
+        if inst is not None:
+            out.append(inst)
+    return out
+
+
+def disassemble(inst: Instruction) -> str:
+    """Render *inst* in the assembler's input syntax."""
+    return str(inst)

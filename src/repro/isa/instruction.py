@@ -1,0 +1,135 @@
+"""Instruction and operand containers shared by the assembler, compiler
+and simulator.
+
+Operands are small typed wrappers rather than bare integers so that an
+instruction is self-describing: ``Reg(3)`` is central-register r3,
+``PredReg(1)`` is predicate register p1 and ``Imm(-4)`` is an immediate.
+The CGA configuration path additionally uses :class:`LocalReg` (an entry
+of an FU's private 2R/1W register file) and :class:`Wire` (the output
+latch of a neighbouring FU reached over the interconnect); these are
+resolved by the CGA context decoder, not by the VLIW decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.isa.opcodes import Opcode, group_of, latency_of
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A central data register file entry (r0..r63, 64-bit)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 64:
+            raise ValueError("central register index out of range: %d" % self.index)
+
+    def __str__(self) -> str:
+        return "r%d" % self.index
+
+
+@dataclass(frozen=True)
+class PredReg:
+    """A central predicate register file entry (p0..p63, 1-bit)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 64:
+            raise ValueError("predicate register index out of range: %d" % self.index)
+
+    def __str__(self) -> str:
+        return "p%d" % self.index
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (signed)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return "#%d" % self.value
+
+
+@dataclass(frozen=True)
+class LocalReg:
+    """An entry of a CGA functional unit's local 2R/1W register file."""
+
+    fu: int
+    index: int
+
+    def __str__(self) -> str:
+        return "fu%d.l%d" % (self.fu, self.index)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """The pipelined output of another CGA FU, reached over the interconnect."""
+
+    fu: int
+
+    def __str__(self) -> str:
+        return "fu%d.out" % self.fu
+
+
+Operand = Union[Reg, PredReg, Imm, LocalReg, Wire]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine operation.
+
+    Attributes
+    ----------
+    opcode:
+        The :class:`~repro.isa.opcodes.Opcode`.
+    dst:
+        Destination operand (``None`` for stores, branches without link
+        and control ops).
+    srcs:
+        Source operands, in Table 1 order (src1, src2[, src3]).
+    pred:
+        Optional guard predicate; when it evaluates to 0 at run time the
+        instruction is squashed (no architectural effect).
+    pred_negate:
+        When true the guard sense is inverted (execute when pred == 0).
+    """
+
+    opcode: Opcode
+    dst: Optional[Operand] = None
+    srcs: Tuple[Operand, ...] = ()
+    pred: Optional[Operand] = None
+    pred_negate: bool = False
+
+    @property
+    def group(self):
+        """The Table 1 operation group of this instruction."""
+        return group_of(self.opcode)
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in cycles (bank conflicts add on top)."""
+        return latency_of(self.opcode)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.pred is not None:
+            sense = "!" if self.pred_negate else ""
+            parts.append("(%s%s)" % (sense, self.pred))
+        parts.append(self.opcode.value)
+        operands = []
+        if self.dst is not None:
+            operands.append(str(self.dst))
+        operands.extend(str(s) for s in self.srcs)
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+
+
+NOP = Instruction(Opcode.NOP)
+"""A canonical no-operation instruction (empty issue slot)."""

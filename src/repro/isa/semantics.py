@@ -1,0 +1,221 @@
+"""Bit-accurate execution semantics of the Table 1 instruction set.
+
+The function :func:`execute` evaluates one *dataflow* opcode (everything
+except loads, stores, branches and control ops, whose effects involve
+machine state and are implemented by the simulator core) on raw 64-bit
+operand patterns and returns the raw result pattern.
+
+Width conventions, from the paper (Section 2.B):
+
+* basic groups (arith/logic/shift/comp/pred/mul) operate on the 32 LSBs
+  of the 64-bit datapath; the result is written to the low 32 bits with
+  the upper 32 bits cleared;
+* the SIMD groups operate on the full 64 bits as four 16-bit lanes,
+  lane "a" being the least significant;
+* the hardwired dividers operate on the 24 LSBs.
+
+SIMD multiply semantics: the paper's Table 1 gives the lane pairing of
+``d4prod`` (straight: a*a, b*b, c*c, d*d) and ``c4prod`` (cross:
+a*b2, b*a2, c*d2, d*c2) but not the 32->16-bit reduction.  We model the
+customary DSP fractional form: ``(x * y) >> 15`` with saturation to
+int16 (Q15 multiply), which is what the MIMO-OFDM kernels require.
+Together with ``c4add``/``c4sub`` this realises two 16-bit complex
+multiplications per instruction pair, the workhorse of the baseband
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa import bits
+from repro.isa.opcodes import Opcode, OpGroup, group_of
+
+
+class ExecutionError(Exception):
+    """Raised for malformed operands or unsupported opcodes."""
+
+
+def _scalar32(op: Opcode, a: int, b: int) -> int:
+    """Evaluate a 32-bit scalar operation; returns the raw 32-bit pattern."""
+    sa, sb = bits.to_signed(a, 32), bits.to_signed(b, 32)
+    ua, ub = a & bits.MASK32, b & bits.MASK32
+    if op in (Opcode.ADD, Opcode.ADD_U):
+        return (ua + ub) & bits.MASK32
+    if op in (Opcode.SUB, Opcode.SUB_U):
+        return (ua - ub) & bits.MASK32
+    if op is Opcode.OR:
+        return ua | ub
+    if op is Opcode.NOR:
+        return (~(ua | ub)) & bits.MASK32
+    if op is Opcode.AND:
+        return ua & ub
+    if op is Opcode.NAND:
+        return (~(ua & ub)) & bits.MASK32
+    if op is Opcode.XOR:
+        return ua ^ ub
+    if op is Opcode.XNOR:
+        return (~(ua ^ ub)) & bits.MASK32
+    if op is Opcode.LSL:
+        return (ua << (ub & 31)) & bits.MASK32
+    if op is Opcode.LSR:
+        return ua >> (ub & 31)
+    if op is Opcode.ASR:
+        return bits.to_unsigned(sa >> (ub & 31), 32)
+    if op in (Opcode.MUL, Opcode.MUL_U):
+        if op is Opcode.MUL:
+            return bits.to_unsigned(sa * sb, 32)
+        return (ua * ub) & bits.MASK32
+    raise ExecutionError("not a scalar32 op: %s" % op)
+
+
+_COMPARES = {
+    Opcode.EQ: lambda sa, sb, ua, ub: sa == sb,
+    Opcode.NE: lambda sa, sb, ua, ub: sa != sb,
+    Opcode.GT: lambda sa, sb, ua, ub: sa > sb,
+    Opcode.GT_U: lambda sa, sb, ua, ub: ua > ub,
+    Opcode.LT: lambda sa, sb, ua, ub: sa < sb,
+    Opcode.LT_U: lambda sa, sb, ua, ub: ua < ub,
+    Opcode.GE: lambda sa, sb, ua, ub: sa >= sb,
+    Opcode.GE_U: lambda sa, sb, ua, ub: ua >= ub,
+    Opcode.LE: lambda sa, sb, ua, ub: sa <= sb,
+    Opcode.LE_U: lambda sa, sb, ua, ub: ua <= ub,
+    Opcode.PRED_EQ: lambda sa, sb, ua, ub: sa == sb,
+    Opcode.PRED_NE: lambda sa, sb, ua, ub: sa != sb,
+    Opcode.PRED_LT: lambda sa, sb, ua, ub: sa < sb,
+    Opcode.PRED_LT_U: lambda sa, sb, ua, ub: ua < ub,
+    Opcode.PRED_LE: lambda sa, sb, ua, ub: sa <= sb,
+    Opcode.PRED_LE_U: lambda sa, sb, ua, ub: ua <= ub,
+    Opcode.PRED_GT: lambda sa, sb, ua, ub: sa > sb,
+    Opcode.PRED_GT_U: lambda sa, sb, ua, ub: ua > ub,
+    Opcode.PRED_GE: lambda sa, sb, ua, ub: sa >= sb,
+    Opcode.PRED_GE_U: lambda sa, sb, ua, ub: ua >= ub,
+}
+
+
+def q15_mul(x: int, y: int) -> int:
+    """Fractional Q15 multiply of two signed 16-bit values, saturated."""
+    return bits.sat16((x * y) >> 15)
+
+
+#: SIMD operations that take a single source operand.
+UNARY_SIMD = frozenset({Opcode.C4SWAP32, Opcode.C4SWAP16, Opcode.C4NEGB})
+
+
+def _simd(op: Opcode, a: int, b: int) -> int:
+    la, lb = bits.split_lanes(a), bits.split_lanes(b)
+    if op is Opcode.C4ADD:
+        # Lane adds saturate, as customary for DSP SIMD datapaths (a
+        # wrapping add would flip signs on near-full-scale phasors).
+        out = [bits.sat16(la[i] + lb[i]) for i in range(4)]
+    elif op is Opcode.C4SUB:
+        out = [bits.sat16(la[i] - lb[i]) for i in range(4)]
+    elif op is Opcode.C4AND:
+        out = [la[i] & lb[i] for i in range(4)]
+    elif op is Opcode.C4OR:
+        out = [la[i] | lb[i] for i in range(4)]
+    elif op is Opcode.C4XOR:
+        out = [la[i] ^ lb[i] for i in range(4)]
+    elif op is Opcode.C4SHIFTL:
+        shift = b & 15
+        out = [lane << shift for lane in la]
+    elif op is Opcode.C4SHIFTR:
+        shift = b & 15
+        out = [lane >> shift for lane in la]
+    elif op is Opcode.C4SWAP32:
+        # Swap the 32-bit halves: |a|b|c|d| -> |c|d|a|b|.
+        out = [la[2], la[3], la[0], la[1]]
+    elif op is Opcode.C4SWAP16:
+        # Swap within each 32-bit pair: |a|b|c|d| -> |b|a|d|c|.
+        out = [la[1], la[0], la[3], la[2]]
+    elif op is Opcode.C4MAX:
+        out = [max(la[i], lb[i]) for i in range(4)]
+    elif op is Opcode.C4MIN:
+        out = [min(la[i], lb[i]) for i in range(4)]
+    elif op is Opcode.C4NEGB:
+        # Negate the odd lanes (complex conjugate of packed re/im pairs).
+        out = [la[0], bits.sat16(-la[1]), la[2], bits.sat16(-la[3])]
+    elif op is Opcode.D4PROD:
+        out = [q15_mul(la[i], lb[i]) for i in range(4)]
+    elif op is Opcode.C4PROD:
+        # Cross pairing per Table 1: |a1*b2|b1*a2|c1*d2|d1*c2|
+        out = [
+            q15_mul(la[0], lb[1]),
+            q15_mul(la[1], lb[0]),
+            q15_mul(la[2], lb[3]),
+            q15_mul(la[3], lb[2]),
+        ]
+    else:
+        raise ExecutionError("not a SIMD op: %s" % op)
+    return bits.pack_lanes(out)
+
+
+def _div(op: Opcode, a: int, b: int) -> int:
+    """24-bit division.  Division by zero yields the all-ones 24-bit pattern,
+    matching common hardwired-divider behaviour."""
+    if op is Opcode.DIV:
+        sa, sb = bits.to_signed(a, 24), bits.to_signed(b, 24)
+        if sb == 0:
+            return bits.MASK24
+        # Truncating division toward zero, as in C.
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return bits.to_unsigned(quotient, 24)
+    ua, ub = a & bits.MASK24, b & bits.MASK24
+    if ub == 0:
+        return bits.MASK24
+    return ua // ub
+
+
+def execute(op: Opcode, srcs: Sequence[int]) -> int:
+    """Execute a dataflow opcode on raw operand patterns.
+
+    Parameters
+    ----------
+    op:
+        Any opcode of the arith/logic/shift/comp/pred/mul/simd1/simd2/div
+        groups.  Memory, branch and control opcodes raise
+        :class:`ExecutionError`; their semantics live in the simulator.
+    srcs:
+        Raw 64-bit source patterns, in Table 1 order.
+
+    Returns
+    -------
+    int
+        The raw result pattern: 64-bit for SIMD groups, 32-bit
+        (zero-extended into the 64-bit register) for the basic groups,
+        0/1 for comparisons and predicate-setters.
+    """
+    group = group_of(op)
+    if op is Opcode.PRED_CLEAR:
+        return 0
+    if op is Opcode.PRED_SET:
+        return 1
+    if group in (OpGroup.COMP, OpGroup.PRED):
+        if len(srcs) != 2:
+            raise ExecutionError("%s expects 2 sources" % op.value)
+        a, b = srcs
+        sa, sb = bits.to_signed(a, 32), bits.to_signed(b, 32)
+        ua, ub = a & bits.MASK32, b & bits.MASK32
+        return 1 if _COMPARES[op](sa, sb, ua, ub) else 0
+    if group in (OpGroup.ARITH, OpGroup.LOGIC, OpGroup.SHIFT, OpGroup.MUL):
+        if len(srcs) != 2:
+            raise ExecutionError("%s expects 2 sources" % op.value)
+        return _scalar32(op, srcs[0], srcs[1])
+    if group in (OpGroup.SIMD1, OpGroup.SIMD2):
+        if op in UNARY_SIMD:
+            if len(srcs) not in (1, 2):
+                raise ExecutionError("%s expects 1 source" % op.value)
+            return _simd(op, srcs[0], 0)
+        if len(srcs) != 2:
+            raise ExecutionError("%s expects 2 sources" % op.value)
+        return _simd(op, srcs[0], srcs[1])
+    if group is OpGroup.DIV:
+        if len(srcs) != 2:
+            raise ExecutionError("%s expects 2 sources" % op.value)
+        return _div(op, srcs[0], srcs[1])
+    raise ExecutionError(
+        "opcode %s (%s group) has machine-state semantics; "
+        "it is executed by the simulator core" % (op.value, group.value)
+    )

@@ -1,0 +1,34 @@
+"""The ``comp`` kernel: tracking/scaling compensation of data carriers.
+
+Multiplies each detected carrier by the conjugated common-phase-error
+phasor from the ``tracking`` kernel and rescales from the detection
+fixed-point format (Q(W_SHIFT) out of SDM) back to the Q15 constellation
+normalisation the demapper expects: ``out = (x * conj(cpe)) << shift``.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.dfg import Dfg
+from repro.isa.opcodes import Opcode
+
+
+def build_comp_dfg(name: str = "comp", shift: int = 0) -> Dfg:
+    """Apply a constant packed phasor and a power-of-two gain.
+
+    Live-ins: ``src``, ``dst``, ``phasor`` (packed pair, already
+    conjugated and normalised by the VLIW tracking code).  Processes two
+    carriers per iteration.
+    """
+    kb = KernelBuilder(name)
+    src = kb.live_in("src")
+    dst = kb.live_in("dst")
+    phasor = kb.live_in("phasor")
+    i_src = kb.induction(0, 8)
+    i_dst = kb.induction(0, 8)
+    x = kb.load(Opcode.LD_Q, kb.add(src, i_src))
+    y = kb.cmul(x, phasor)
+    if shift:
+        y = kb.op(Opcode.C4SHIFTL, y, shift)
+    kb.store(Opcode.ST_Q, kb.add(dst, i_dst), y)
+    return kb.finish()

@@ -1,0 +1,175 @@
+"""The ``fshift`` kernels: frequency translation of the sample stream.
+
+Two variants, matching the two Table 2 rows that use them:
+
+* :func:`build_fshift_dfg` — table-based rotation (the plain ``fshift``
+  rows, pure CGA, high IPC): each iteration loads two samples and two
+  phasor-table entries, complex-multiplies and stores.  The phasor table
+  is precomputed (by the host or earlier VLIW code).
+* :func:`build_cfo_rotate_dfg` — recursive-phasor rotation used by
+  ``freq offset compensation`` (the "mixed" row): the per-sample phasor
+  is advanced on the array by a loop-carried complex multiply, whose
+  recurrence limits the achievable II — which is why the paper reports
+  a visibly lower IPC (4.48) for this kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.dfg import Const, Dfg
+from repro.isa.opcodes import Opcode
+from repro.kernels.common import MASK_EVEN, MASK_ODD, pack_complex_word
+from repro.phy.fixed import q15
+
+
+def build_fshift_dfg(name: str = "fshift") -> Dfg:
+    """out[n] = x[n] * table[n] over packed pairs (two samples/iteration).
+
+    Live-ins: ``src``, ``dst``, ``tab`` (byte base addresses).
+    """
+    kb = KernelBuilder(name)
+    src = kb.live_in("src")
+    dst = kb.live_in("dst")
+    tab = kb.live_in("tab")
+    # One address induction per memory port: their values are consumed
+    # at different schedule times, and independent inductions let the
+    # scheduler anchor each next to its consumer (hand-written DSP
+    # kernels use separate address registers for the same reason).
+    i_src = kb.induction(0, 8)
+    i_tab = kb.induction(0, 8)
+    i_dst = kb.induction(0, 8)
+    x = kb.load(Opcode.LD_Q, kb.add(src, i_src))
+    ph = kb.load(Opcode.LD_Q, kb.add(tab, i_tab))
+    y = kb.cmul(x, ph)
+    kb.store(Opcode.ST_Q, kb.add(dst, i_dst), y)
+    return kb.finish()
+
+
+def build_cfo_rotate(
+    name: str, step_word: int, ph0_word: int
+) -> Dfg:
+    """Concrete recursive-phasor rotation kernel.
+
+    *step_word* and *ph0_word* are packed 64-bit phasor constants
+    (compile-time, like DRESC constant-folding the CFO estimate would
+    when specialising; at run time the paper's code patches the
+    configuration immediates — our linker recompiles, which costs the
+    same configuration-DMA traffic).
+    """
+    kb = KernelBuilder(name)
+    src = kb.live_in("src")
+    dst = kb.live_in("dst")
+    i_src = kb.induction(0, 8)
+    i_dst = kb.induction(0, 8)
+    x = kb.load(Opcode.LD_Q, kb.add(src, i_src))
+    step = Const(step_word)
+    direct = kb.d4prod(Const(0), step)
+    cross = kb.c4prod(Const(0), step)
+    re = kb.c4sub(direct, kb.c4swap16(direct))
+    im = kb.c4add(cross, kb.c4swap16(cross))
+    re_even = kb.op(Opcode.C4AND, re, Const(MASK_EVEN))
+    im_odd = kb.op(Opcode.C4AND, im, Const(MASK_ODD))
+    ph = kb.c4add(re_even, im_odd)
+    # Wire the recurrence: the two products read ph (distance 1).
+    ph_rec = kb.recurrence(ph, init=ph0_word)
+    kb.dfg.nodes[direct.node_id].srcs = (ph_rec, step)
+    kb.dfg.nodes[cross.node_id].srcs = (ph_rec, step)
+    # The data multiply uses the *previous* phasor (the one that applies
+    # to this iteration's samples); the freshly advanced one applies to
+    # the next pair.
+    y = kb.cmul(x, ph_rec)
+    kb.store(Opcode.ST_Q, kb.add(dst, i_dst), y)
+    return kb.finish()
+
+
+def build_gather_rotate_dfg(
+    name: str = "gather_rotate", delta_src: int = 640, delta_dst: int = 256
+) -> Dfg:
+    """Fused CP-strip / bit-reversal gather + phasor rotation (two buffers).
+
+    The data-phase ``fshift`` row: each iteration reads one sample
+    offset from a table (which encodes cyclic-prefix stripping and the
+    FFT's bit-reversal in one permutation), loads that sample from both
+    antenna buffers, rotates both by the same table phasor and stores
+    them into the FFT working buffers — so the FFT proper starts at its
+    first butterfly stage.
+
+    Live-ins: ``src`` (antenna-0 samples; antenna 1 at +delta_src),
+    ``dst`` (FFT buffer 0; buffer 1 at +delta_dst), ``tab`` (byte-offset
+    permutation), ``ph`` (32-bit phasor table, same permutation order).
+    """
+    kb = KernelBuilder(name)
+    src = kb.live_in("src")
+    dst = kb.live_in("dst")
+    tab = kb.live_in("tab")
+    phb = kb.live_in("ph")
+    i_tab = kb.induction(0, 4)
+    i_ph = kb.induction(0, 4)
+    i_dst = kb.induction(0, 4)
+    off = kb.load(Opcode.LD_I, kb.add(tab, i_tab))
+    ph = kb.load(Opcode.LD_I, kb.add(phb, i_ph))
+    src_addr = kb.add(src, off)
+    x0 = kb.load(Opcode.LD_I, src_addr)
+    x1 = kb.load(Opcode.LD_I, kb.add(src_addr, Const(delta_src)))
+    y0 = kb.cmul(x0, ph)
+    y1 = kb.cmul(x1, ph)
+    dst_addr = kb.add(dst, i_dst)
+    kb.store(Opcode.ST_I, dst_addr, y0)
+    kb.store(Opcode.ST_I, kb.add(dst_addr, Const(delta_dst)), y1)
+    return kb.finish()
+
+
+# ----------------------------------------------------------------------
+# Host-side parameter builders.
+# ----------------------------------------------------------------------
+
+
+def phasor_table_words(
+    freq_hz: float, sample_rate_hz: float, n_samples: int, start_sample: int = 0
+) -> List[int]:
+    """Packed phasor table for the table-based fshift (two samples/word)."""
+    n = np.arange(start_sample, start_sample + n_samples)
+    ph = np.exp(2j * np.pi * freq_hz * n / sample_rate_hz)
+    re, im = q15(ph.real), q15(ph.imag)
+    words = []
+    for k in range(0, n_samples, 2):
+        lo = pack_complex_word(int(re[k]), int(im[k]))
+        hi = pack_complex_word(int(re[k + 1]), int(im[k + 1]))
+        words.append(lo | (hi << 32))
+    return words
+
+
+def phasor_table_words32(
+    freq_hz: float, sample_rate_hz: float, sample_indices
+) -> List[int]:
+    """32-bit phasor table (one sample per word) for ``gather_rotate``.
+
+    *sample_indices* gives the absolute sample index of each table
+    entry (the gather permutation order), so the rotation phase stays
+    continuous across reordered accesses.
+    """
+    out = []
+    for n in sample_indices:
+        ph = np.exp(2j * np.pi * freq_hz * n / sample_rate_hz)
+        out.append(pack_complex_word(int(q15(ph.real)), int(q15(ph.imag))))
+    return out
+
+
+def rotate_constants(
+    freq_hz: float, sample_rate_hz: float, start_sample: int = 0
+) -> Tuple[int, int]:
+    """(step_word, ph0_word) for the recursive-phasor kernel."""
+    theta = 2 * np.pi * freq_hz / sample_rate_hz
+    step = np.exp(2j * theta)  # advances a pair by two samples
+    ph0 = np.exp(1j * theta * start_sample)
+    ph1 = np.exp(1j * theta * (start_sample + 1))
+    step_lo = pack_complex_word(int(q15(step.real)), int(q15(step.imag)))
+    step_word = step_lo | (step_lo << 32)
+    ph0_word = pack_complex_word(int(q15(ph0.real)), int(q15(ph0.imag))) | (
+        pack_complex_word(int(q15(ph1.real)), int(q15(ph1.imag))) << 32
+    )
+    return step_word, ph0_word

@@ -1,0 +1,235 @@
+"""The VLIW-mode kernels of Table 2: data movement and pilot tracking.
+
+``remove zero carriers``, ``sample ordering``, ``sample reordering`` and
+``data shuffle`` are layout transformations executed as rolled VLIW
+copy loops (their IPC of ~1.1-2.7 in the paper comes from load-use
+latencies and loop-control overhead on a 3-issue machine, which the
+list-scheduled loops here reproduce).  ``tracking`` computes the
+common-phase-error phasor from the four pilots with scalar arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.builder import PhysReg, VliwBuilder
+from repro.isa.opcodes import Opcode
+
+
+def emit_copy_loop(
+    vb: VliwBuilder,
+    src_addr: int,
+    dst_addr: int,
+    n_words64: int,
+    unroll: int = 2,
+    src_stride: int = 8,
+    dst_stride: int = 8,
+) -> None:
+    """Copy *n_words64* 64-bit words with configurable strides.
+
+    With unit strides this is ``remove zero carriers`` run copying and
+    plain buffer moves; with non-unit strides it realises the
+    ``sample ordering`` / ``data shuffle`` interleaving patterns.
+    """
+    if n_words64 % unroll:
+        raise ValueError("unroll must divide the word count")
+    sp = vb.shared_reg("copy_sp")
+    dp = vb.shared_reg("copy_dp")
+    vb.op(Opcode.ADD, 0, src_addr, dst=sp)
+    vb.op(Opcode.ADD, 0, dst_addr, dst=dp)
+    with vb.counted_loop(n_words64 // unroll):
+        for u in range(unroll):
+            # Immediate offsets are in 32-bit words (scaled <<2).
+            x = vb.load(Opcode.LD_Q, sp, u * src_stride // 4)
+            vb.store(Opcode.ST_Q, dp, u * dst_stride // 4, x)
+        vb.op(Opcode.ADD, sp, unroll * src_stride, dst=_same(sp))
+        vb.op(Opcode.ADD, dp, unroll * dst_stride, dst=_same(dp))
+
+
+def _same(reg):
+    """Reuse a virtual register as its own destination (loop pointer)."""
+    return reg
+
+
+def emit_remove_zero_carriers(
+    vb: VliwBuilder, grid_addr: int, out_addr: int
+) -> None:
+    """Compact the 64-bin FFT grid to the 56 used bins.
+
+    The used spectrum is two contiguous runs — bins 1..28 and bins
+    36..63 — so the kernel is two 64-bit copy loops (bin k sits at byte
+    ``4k``; a 64-bit load at byte ``4`` pairs bins 1 and 2).
+    """
+    emit_copy_loop(vb, grid_addr + 4, out_addr, 14, unroll=2)
+    emit_copy_loop(vb, grid_addr + 36 * 4, out_addr + 28 * 4, 14, unroll=2)
+
+
+def emit_interleave(
+    vb: VliwBuilder,
+    src0_addr: int,
+    src1_addr: int,
+    dst_addr: int,
+    n_words64: int,
+) -> None:
+    """``sample ordering``: merge two antenna buffers word-by-word.
+
+    Produces dst = [a0, b0, a1, b1, ...] at 64-bit granularity — the
+    carrier-major layout the MIMO kernels consume.
+    """
+    p0 = vb.mov_imm(src0_addr)
+    p1 = vb.mov_imm(src1_addr)
+    dp = vb.mov_imm(dst_addr)
+    with vb.counted_loop(n_words64):
+        a = vb.load(Opcode.LD_Q, p0, 0)
+        b = vb.load(Opcode.LD_Q, p1, 0)
+        vb.store(Opcode.ST_Q, dp, 0, a)
+        vb.store(Opcode.ST_Q, dp, 2, b)
+        vb.op(Opcode.ADD, p0, 8, dst=_same(p0))
+        vb.op(Opcode.ADD, p1, 8, dst=_same(p1))
+        vb.op(Opcode.ADD, dp, 16, dst=_same(dp))
+
+
+def emit_deinterleave(
+    vb: VliwBuilder,
+    src_addr: int,
+    dst0_addr: int,
+    dst1_addr: int,
+    n_words64: int,
+) -> None:
+    """``sample reordering``: split a carrier-major buffer per stream."""
+    sp = vb.mov_imm(src_addr)
+    p0 = vb.mov_imm(dst0_addr)
+    p1 = vb.mov_imm(dst1_addr)
+    with vb.counted_loop(n_words64):
+        a = vb.load(Opcode.LD_Q, sp, 0)
+        b = vb.load(Opcode.LD_Q, sp, 2)
+        vb.store(Opcode.ST_Q, p0, 0, a)
+        vb.store(Opcode.ST_Q, p1, 0, b)
+        vb.op(Opcode.ADD, sp, 16, dst=_same(sp))
+        vb.op(Opcode.ADD, p0, 8, dst=_same(p0))
+        vb.op(Opcode.ADD, p1, 8, dst=_same(p1))
+
+
+def emit_gather_words(
+    vb: VliwBuilder, table_addr: int, src_addr: int, dst_addr: int, count: int
+) -> None:
+    """``data shuffle``: gather 32-bit samples through an offset table."""
+    tp = vb.mov_imm(table_addr)
+    base = vb.mov_imm(src_addr)
+    dp = vb.mov_imm(dst_addr)
+    with vb.counted_loop(count):
+        off = vb.load(Opcode.LD_I, tp, 0)
+        addr = vb.add(base, off)
+        x = vb.load(Opcode.LD_I, addr, 0)
+        vb.store(Opcode.ST_I, dp, 0, x)
+        vb.op(Opcode.ADD, tp, 4, dst=_same(tp))
+        vb.op(Opcode.ADD, dp, 4, dst=_same(dp))
+
+
+def emit_deinterleave_adc(
+    vb: VliwBuilder,
+    rx_addr: int,
+    ant0_addr: int,
+    ant1_addr: int,
+    n_pairs: int,
+    unroll: int = 2,
+) -> None:
+    """``sample ordering``: split the ADC-interleaved stream per antenna.
+
+    The front end delivers samples interleaved as (a0[k], a1[k]) pairs;
+    one 64-bit load fetches a pair, the low half goes to the antenna-0
+    buffer and the swapped high half to antenna 1.
+    """
+    if n_pairs % unroll:
+        raise ValueError("unroll must divide the pair count")
+    sp = vb.shared_reg("adc_sp")
+    p0 = vb.shared_reg("adc_p0")
+    p1 = vb.shared_reg("adc_p1")
+    vb.op(Opcode.ADD, 0, rx_addr, dst=sp)
+    vb.op(Opcode.ADD, 0, ant0_addr, dst=p0)
+    vb.op(Opcode.ADD, 0, ant1_addr, dst=p1)
+    with vb.counted_loop(n_pairs // unroll):
+        for u in range(unroll):
+            x = vb.load(Opcode.LD_Q, sp, 2 * u)
+            hi = vb.op(Opcode.C4SWAP32, x)
+            vb.store(Opcode.ST_I, p0, u, x)
+            vb.store(Opcode.ST_I, p1, u, hi)
+        vb.op(Opcode.ADD, sp, 8 * unroll, dst=_same(sp))
+        vb.op(Opcode.ADD, p0, 4 * unroll, dst=_same(p0))
+        vb.op(Opcode.ADD, p1, 4 * unroll, dst=_same(p1))
+
+
+def emit_lane_reduce_mag(
+    vb: VliwBuilder, src_reg, out_re: PhysReg, out_im: PhysReg, out_mag: PhysReg
+) -> None:
+    """Reduce a packed lane accumulator to (re, im, |.|^2) scalars.
+
+    Used as the VLIW half of the "mixed" acorr/xcorr kernels: the CGA
+    loop leaves |re0|im0|re1|im1| lane sums; this folds the two sample
+    lanes and squares the magnitude for threshold/peak decisions.
+    Results go straight into the host-visible fixed registers.
+    """
+    folded = vb.op(Opcode.C4ADD, src_reg, vb.op(Opcode.C4SWAP32, src_reg))
+    vb.op(Opcode.ASR, vb.op(Opcode.LSL, folded, 16), 16, dst=out_re)
+    vb.op(Opcode.ASR, folded, 16, dst=out_im)
+    re2 = vb.op(Opcode.MUL, out_re, out_re)
+    im2 = vb.op(Opcode.MUL, out_im, out_im)
+    vb.op(Opcode.ADD, re2, im2, dst=out_mag)
+
+
+def emit_tracking(
+    vb: VliwBuilder,
+    grid_addr: int,
+    pilot_offsets: Sequence[int],
+    pilot_signs: Sequence[int],
+    out_reg: PhysReg,
+    scratch_addr: int,
+) -> None:
+    """``tracking``: common-phase-error phasor from the pilots.
+
+    Loads the four pilot carriers (32-bit complex each), accumulates
+    ``sum sign_k * p_k`` (the expected pilots are +-1, so conjugated
+    multiplication degenerates to signed addition), divides by 4 and
+    conjugates — leaving the packed correction phasor pair in *out_reg*
+    (both halves equal) via the store/store/load-64 idiom.
+    """
+    if len(pilot_offsets) != len(pilot_signs):
+        raise ValueError("offsets/signs length mismatch")
+    # Shared temporaries: tracking is short sequential code, so register
+    # reuse (serialised by the hazard analysis) is the natural choice.
+    base = vb.shared_reg("trk_base")
+    acc_re = vb.shared_reg("trk_are")
+    acc_im = vb.shared_reg("trk_aim")
+    vb.op(Opcode.ADD, 0, grid_addr, dst=base)
+    vb.op(Opcode.ADD, 0, 0, dst=acc_re)
+    vb.op(Opcode.ADD, 0, 0, dst=acc_im)
+    p = vb.shared_reg("trk_p")
+    t = vb.shared_reg("trk_t")
+    re = vb.shared_reg("trk_re")
+    im = vb.shared_reg("trk_im")
+    for off, sign in zip(pilot_offsets, pilot_signs):
+        vb.op(Opcode.LD_I, base, off // 4, dst=p)
+        vb.op(Opcode.LSL, p, 16, dst=t)
+        vb.op(Opcode.ASR, t, 16, dst=re)
+        vb.op(Opcode.ASR, p, 16, dst=im)
+        op = Opcode.ADD if sign > 0 else Opcode.SUB
+        vb.op(op, acc_re, re, dst=acc_re)
+        vb.op(op, acc_im, im, dst=acc_im)
+    # Normalise to a Q15 unit phasor.  Equalised pilots sit at +-1 in
+    # the detector's Q(W_SHIFT) format, so the 4-pilot sum is about
+    # 4 << W_SHIFT; multiplying by 32640/2^10 maps that onto ~0.996 Q15
+    # (staying just inside the int16 range so the pack cannot wrap).
+    vb.op(Opcode.MUL, acc_re, 32640, dst=t)
+    vb.op(Opcode.ASR, t, 10, dst=re)  # avg_re
+    vb.op(Opcode.MUL, acc_im, 32640, dst=t)
+    vb.op(Opcode.ASR, t, 10, dst=im)  # avg_im
+    # Conjugate for the correction rotation, then pack (re, -im).
+    vb.op(Opcode.SUB, 0, im, dst=im)
+    vb.op(Opcode.AND, re, 0xFFFF, dst=re)
+    vb.op(Opcode.LSL, im, 16, dst=im)
+    vb.op(Opcode.OR, re, im, dst=p)
+    # Duplicate into both 32-bit halves through the scratch slot.
+    vb.op(Opcode.ADD, 0, scratch_addr, dst=base)
+    vb.store(Opcode.ST_I, base, 0, p)
+    vb.store(Opcode.ST_I, base, 1, p)
+    vb.op(Opcode.LD_Q, base, 0, dst=out_reg)

@@ -1,0 +1,32 @@
+"""The ``xcorr`` kernel: cross-correlation against a known reference.
+
+One CGA invocation accumulates ``sum x[n] * conj(ref[n])`` over the
+reference length at one candidate timing position (two samples per
+iteration).  The timing search evaluates a handful of candidate
+positions around the coarse detection point, one invocation each, and
+the VLIW code picks the magnitude peak.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.dfg import Dfg
+from repro.isa.opcodes import Opcode
+
+
+def build_xcorr_dfg(name: str = "xcorr", acc_shift: int = 2) -> Dfg:
+    """Correlation at one position.
+
+    Live-ins: ``base`` (x window start), ``ref`` (reference table).
+    Live-out: ``corr`` (packed lane accumulator; true correlation is
+    lane0+lane2 / lane1+lane3).
+    """
+    kb = KernelBuilder(name)
+    base = kb.live_in("base")
+    ref = kb.live_in("ref")
+    i = kb.induction(0, 8)
+    x = kb.load(Opcode.LD_Q, kb.add(base, i))
+    r = kb.load(Opcode.LD_Q, kb.add(ref, i))
+    prod = kb.c4shiftr(kb.cmul(x, kb.c4negb(r)), acc_shift)
+    kb.accumulate(Opcode.C4ADD, prod, init=0, live_out="corr")
+    return kb.finish()

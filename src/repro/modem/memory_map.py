@@ -1,0 +1,91 @@
+"""Scratchpad layout of the modem programs.
+
+All addresses are byte offsets into the 64 KB L1.  Complex samples are
+one 32-bit word each (re low, im high); 64-bit SIMD accesses cover two
+samples.  Buffers are 16-byte aligned so that 64-bit accesses start on
+even bank pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Byte addresses of every modem buffer."""
+
+    #: ADC-interleaved input stream: (a0[k], a1[k]) word pairs.
+    RXIN: int = 0x0000  # up to 1024 sample pairs = 8 KB
+    #: Deinterleaved per-antenna sample buffers.
+    ANT0: int = 0x2000  # up to 1024 samples = 4 KB
+    ANT1: int = 0x3000
+    #: Rotated working buffers (coarse-CFO corrected regions).
+    WORK0: int = 0x4000  # 512 samples
+    WORK1: int = 0x4800
+    #: Fine-corrected HT-LTF region, antenna buffers 640 B apart.
+    CORR0: int = 0x5000  # 160 samples
+    CORR1: int = 0x5280
+    #: Packed (2-sample) phasor table for the table-based fshift.
+    PHTAB: int = 0x5800  # up to 256 words = 2 KB
+    #: 32-bit phasor table for the fused gather-rotate.
+    PHTAB32: int = 0x6000  # up to 256 entries = 1 KB
+    #: Cross-correlation reference (64 packed samples).
+    XCREF: int = 0x6400
+    #: CORDIC arctangent table.
+    ATAN: int = 0x6500
+    #: Gather tables: CP-strip + bit-reversal for the data symbols.
+    GTAB0: int = 0x6600  # symbol 0 (64 entries)
+    GTAB1: int = 0x6700  # symbol 1
+    #: Plain bit-reversal byte-offset table (64 entries).
+    RTAB: int = 0x6800
+    #: Used-carrier byte offsets within a 64-bin grid (56 entries).
+    BINTAB: int = 0x6900
+    #: FFT working buffers (4 x 64 words).  The pair delta is 264 B —
+    #: 256 plus one bank-pair skew — so that the two merged buffers'
+    #: butterfly accesses land on different L1 banks instead of
+    #: queueing behind each other every cycle.
+    FFT0: int = 0x6A00
+    FFT1: int = 0x6B08
+    FFT2: int = 0x6C20
+    FFT3: int = 0x6D28
+    #: Per-stage twiddle tables (5 stages x 16 x 8 B).
+    TWID: int = 0x6E40
+    #: Compact spectra (4 x 56 words, padded to 256 B).
+    COMP0: int = 0x7200
+    COMP1: int = 0x7300
+    COMP2: int = 0x7400
+    COMP3: int = 0x7500
+    #: Channel-combining sign table (28 words).
+    SGN: int = 0x7600
+    #: Channel estimate H (56 carriers x 16 B).
+    HBUF: int = 0x7800
+    #: Equaliser W (56 carriers x 16 B).
+    WBUF: int = 0x7C00
+    #: Per-symbol carrier vectors y (56 words each).
+    YBUF0: int = 0x8000
+    YBUF1: int = 0x8200
+    #: Detected symbols x_hat (Q8).
+    XBUF0: int = 0x8400
+    XBUF1: int = 0x8600
+    #: Compensated symbols (half-normalised Q15).
+    CBUF0: int = 0x8800
+    CBUF1: int = 0x8A00
+    #: Demapped Gray-label words.
+    LBUF0: int = 0x8C00
+    LBUF1: int = 0x8E00
+    #: Scratch slot for 64-bit materialisation tricks.
+    SCRATCH: int = 0x9000
+
+    @property
+    def ant_delta(self) -> int:
+        """Byte distance between the two antenna sample buffers."""
+        return self.ANT1 - self.ANT0
+
+    @property
+    def fft_pair_delta(self) -> int:
+        """Byte distance between paired FFT buffers."""
+        return self.FFT1 - self.FFT0
+
+
+DEFAULT_MAP = MemoryMap()

@@ -1,0 +1,84 @@
+"""Fixed-point 20 MHz 2x2 MIMO-OFDM baseband reference (the paper's workload).
+
+This package is the *golden model* for the kernels of Table 2: every
+signal-processing step of the inner modem is implemented twice in the
+repository — once here in NumPy (bit-accurate Q15 fixed point where the
+mapped kernels must match, floating point for channel modelling), and
+once as compiled CGA/VLIW kernels in :mod:`repro.kernels`.
+
+Modules
+-------
+``params``     OFDM numerology (64-pt FFT, 52+4 carriers, 16-sample CP,
+               4 us symbols at 20 Msps, 2 spatial streams).
+``fixed``      Q15 quantisation and the packed complex-pair layout used
+               by the 4x16 SIMD datapath.
+``fft``        Fixed-point radix-2 64-point (I)FFT with block scaling.
+``qam``        Gray-mapped QAM-64 modulation and hard demapping.
+``preamble``   STF/LTF generation, autocorrelation packet detection,
+               cross-correlation timing, CFO estimation.
+``freq``       Frequency shifting (digital down-conversion) and CFO
+               compensation — the ``fshift`` kernels.
+``channel``    2x2 multipath + AWGN + CFO impairment models.
+``mimo``       Per-carrier MIMO channel estimation, ZF/MMSE equaliser
+               coefficient calculation and SDM detection.
+``ofdm``       Symbol (de)framing: CP handling, carrier (de)mapping,
+               pilot phase tracking.
+``modem_ref``  End-to-end reference transmitter and receiver.
+"""
+
+from repro.phy.params import OfdmParams, PARAMS_20MHZ_2X2
+from repro.phy.fixed import (
+    q15,
+    from_q15,
+    quantize_complex,
+    pack_complex_pair,
+    unpack_complex_pair,
+)
+from repro.phy.fft import fft_fixed, ifft_fixed, fft_float
+from repro.phy.qam import qam64_modulate, qam64_demodulate, qam64_constellation
+from repro.phy.preamble import (
+    short_training_field,
+    long_training_field,
+    autocorrelate,
+    cross_correlate,
+    detect_packet,
+    estimate_cfo,
+)
+from repro.phy.freq import fshift, cfo_compensate
+from repro.phy.channel import MimoChannel, awgn
+from repro.phy.mimo import estimate_channel, equalizer_coefficients, sdm_detect
+from repro.phy.ofdm import map_carriers, demap_carriers, add_cp, remove_cp, track_pilots
+
+__all__ = [
+    "OfdmParams",
+    "PARAMS_20MHZ_2X2",
+    "q15",
+    "from_q15",
+    "quantize_complex",
+    "pack_complex_pair",
+    "unpack_complex_pair",
+    "fft_fixed",
+    "ifft_fixed",
+    "fft_float",
+    "qam64_modulate",
+    "qam64_demodulate",
+    "qam64_constellation",
+    "short_training_field",
+    "long_training_field",
+    "autocorrelate",
+    "cross_correlate",
+    "detect_packet",
+    "estimate_cfo",
+    "fshift",
+    "cfo_compensate",
+    "MimoChannel",
+    "awgn",
+    "estimate_channel",
+    "equalizer_coefficients",
+    "sdm_detect",
+    "map_carriers",
+    "demap_carriers",
+    "add_cp",
+    "remove_cp",
+    "track_pilots",
+]

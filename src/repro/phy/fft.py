@@ -1,0 +1,108 @@
+"""Fixed-point radix-2 64-point (I)FFT with per-stage block scaling.
+
+The ``fft`` kernel of Table 2 runs twice per symbol pair (one FFT per
+receive antenna).  The fixed-point algorithm here is the classical
+decimation-in-time radix-2 butterfly network with a ``>> 1`` scaling in
+every stage (unconditional block scaling), which keeps all intermediates
+inside Q15 for full-scale inputs; the output is the DFT divided by N
+(the growth absorbed by the 6 scaling stages at N=64).
+
+Twiddle factors are Q15; butterflies use the exact ISA complex-multiply
+rounding so the mapped kernel matches this model bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.phy.fixed import cmul_q15, q15, q15_mul_array
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversed index permutation for a power-of-two *n*."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+def twiddles_q15(n: int, inverse: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+    """Q15 twiddle factor tables (re, im) for W_n^k, k = 0..n/2-1."""
+    k = np.arange(n // 2)
+    sign = 1.0 if inverse else -1.0
+    w = np.exp(sign * 2j * np.pi * k / n)
+    # cos(0)=1 saturates to 32767/32768: acceptable (half-LSB error).
+    return q15(w.real), q15(w.imag)
+
+
+def fft_fixed(
+    re: np.ndarray, im: np.ndarray, inverse: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """In-order radix-2 DIT FFT on Q15 arrays; output scaled by 1/N.
+
+    Parameters are int16 arrays of a power-of-two length; returns new
+    int16 arrays.  The transform computes ``DFT(x)/N`` (or ``IDFT(x)/N``
+    with ``inverse=True``), the scaling being applied as ``>> 1`` per
+    stage.
+    """
+    re = np.asarray(re, dtype=np.int16).copy()
+    im = np.asarray(im, dtype=np.int16).copy()
+    n = len(re)
+    if n & (n - 1) or n < 2:
+        raise ValueError("FFT length must be a power of two >= 2")
+    if len(im) != n:
+        raise ValueError("re/im length mismatch")
+    rev = bit_reverse_indices(n)
+    re, im = re[rev], im[rev]
+    tw_re, tw_im = twiddles_q15(n, inverse)
+    stride = n // 2
+    size = 2
+    while size <= n:
+        half = size // 2
+        tstep = n // size
+        for start in range(0, n, size):
+            for j in range(half):
+                w_r = tw_re[j * tstep]
+                w_i = tw_im[j * tstep]
+                a, b = start + j, start + j + half
+                # t = w * x[b] with ISA rounding.
+                t_r, t_i = cmul_q15(
+                    np.int16(re[b]), np.int16(im[b]), w_r, w_i
+                )
+                # Butterfly with >>1 block scaling per stage.  Sums pass
+                # through the saturating 16-bit SIMD adders before the
+                # shift, exactly as on the hardware datapath.
+                def _sat(v: int) -> int:
+                    return max(-32768, min(32767, v))
+
+                re_a = _sat(int(re[a]) + int(t_r)) >> 1
+                im_a = _sat(int(im[a]) + int(t_i)) >> 1
+                re_b = _sat(int(re[a]) - int(t_r)) >> 1
+                im_b = _sat(int(im[a]) - int(t_i)) >> 1
+                re[a], im[a] = re_a, im_a
+                re[b], im[b] = re_b, im_b
+        size *= 2
+    return re, im
+
+
+def ifft_fixed(re: np.ndarray, im: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse transform: ``IDFT(x)/N`` (so ``ifft(fft(x)) == x/N^2``...
+
+    Note the deliberate asymmetry: like the hardware kernel, each call
+    scales by 1/N; a TX IFFT followed by an RX FFT therefore returns the
+    constellation scaled by 1/N^2 relative to unitary conventions, and
+    the receive chain compensates digitally (the ``comp`` kernel).
+    """
+    return fft_fixed(re, im, inverse=True)
+
+
+def fft_float(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Floating-point reference with the same 1/N scaling convention."""
+    x = np.asarray(x, dtype=np.complex128)
+    if inverse:
+        return np.fft.ifft(x)  # numpy ifft already divides by N
+    return np.fft.fft(x) / len(x)

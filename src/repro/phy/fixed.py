@@ -1,0 +1,111 @@
+"""Q15 fixed-point helpers and the SIMD packed complex-pair layout.
+
+The processor's SIMD datapath holds four 16-bit lanes per 64-bit word.
+Baseband kernels pack **two complex samples** per word as
+``|re0|im0|re1|im1|`` (lane 0 = least significant 16 bits), which is the
+layout the ``d4prod``/``c4prod`` pairing in Table 1 is designed for.
+
+These helpers mirror the ISA's arithmetic exactly (Q15 products with
+``>> 15`` and saturation) so NumPy golden models and executed kernels
+can be compared bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.bits import pack_lanes, split_lanes
+
+Q15_ONE = 1 << 15
+
+
+def q15(x) -> np.ndarray:
+    """Quantise float(s) in [-1, 1) to Q15 with saturation."""
+    arr = np.round(np.asarray(x, dtype=np.float64) * Q15_ONE)
+    return np.clip(arr, -Q15_ONE, Q15_ONE - 1).astype(np.int16)
+
+
+def from_q15(x) -> np.ndarray:
+    """Convert Q15 integers back to float."""
+    return np.asarray(x, dtype=np.float64) / Q15_ONE
+
+
+def q15_mul_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorised Q15 multiply matching :func:`repro.isa.semantics.q15_mul`."""
+    prod = (a.astype(np.int32) * b.astype(np.int32)) >> 15
+    return np.clip(prod, -Q15_ONE, Q15_ONE - 1).astype(np.int16)
+
+
+def quantize_complex(x, scale: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantise a complex float array to Q15 (re, im) int16 arrays."""
+    arr = np.asarray(x, dtype=np.complex128) * scale
+    return q15(arr.real), q15(arr.imag)
+
+
+def complex_from_q15(re: np.ndarray, im: np.ndarray) -> np.ndarray:
+    """Assemble a complex float array from Q15 parts."""
+    return from_q15(re) + 1j * from_q15(im)
+
+
+def cmul_q15(
+    ar: np.ndarray, ai: np.ndarray, br: np.ndarray, bi: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Complex Q15 multiply with the exact ISA rounding.
+
+    ``re = ar*br - ai*bi``, ``im = ar*bi + ai*br`` where every 16x16
+    product is individually ``>> 15``-rounded and saturated, then the
+    sum wraps in int16 — matching the d4prod/c4prod/c4sub/c4add idiom.
+    """
+    rr = q15_mul_array(ar, br)
+    ii = q15_mul_array(ai, bi)
+    ri = q15_mul_array(ar, bi)
+    ir = q15_mul_array(ai, br)
+    re = np.clip(rr.astype(np.int32) - ii.astype(np.int32), -Q15_ONE, Q15_ONE - 1)
+    im = np.clip(ri.astype(np.int32) + ir.astype(np.int32), -Q15_ONE, Q15_ONE - 1)
+    return re.astype(np.int16), im.astype(np.int16)
+
+
+# ----------------------------------------------------------------------
+# Packed complex pairs (two samples per 64-bit word).
+# ----------------------------------------------------------------------
+
+
+def pack_complex_pair(re0: int, im0: int, re1: int, im1: int) -> int:
+    """Pack two complex Q15 samples into one 64-bit SIMD word."""
+    return pack_lanes([re0, im0, re1, im1])
+
+
+def unpack_complex_pair(word: int) -> Tuple[int, int, int, int]:
+    """Unpack a 64-bit SIMD word into (re0, im0, re1, im1)."""
+    lanes = split_lanes(word)
+    return lanes[0], lanes[1], lanes[2], lanes[3]
+
+
+def pack_complex_array(re: Sequence[int], im: Sequence[int]) -> List[int]:
+    """Pack int16 (re, im) arrays into 64-bit words, two samples each.
+
+    The sample count must be even (baseband buffers are).
+    """
+    re = list(int(x) for x in re)
+    im = list(int(x) for x in im)
+    if len(re) != len(im):
+        raise ValueError("re/im length mismatch")
+    if len(re) % 2 != 0:
+        raise ValueError("packed complex arrays need an even sample count")
+    out = []
+    for k in range(0, len(re), 2):
+        out.append(pack_complex_pair(re[k], im[k], re[k + 1], im[k + 1]))
+    return out
+
+
+def unpack_complex_array(words: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_complex_array`."""
+    re: List[int] = []
+    im: List[int] = []
+    for word in words:
+        r0, i0, r1, i1 = unpack_complex_pair(word)
+        re.extend([r0, r1])
+        im.extend([i0, i1])
+    return np.array(re, dtype=np.int16), np.array(im, dtype=np.int16)

@@ -1,0 +1,60 @@
+"""Frequency shifting (the ``fshift`` kernel) and CFO compensation.
+
+``fshift`` multiplies the sample stream by a rotating phasor — the
+digital frequency translation used both for low-IF down-conversion and
+for carrier-frequency-offset correction.  The hardware kernel works on
+packed complex pairs with a recursively updated Q15 phasor; the golden
+model mirrors that (including the periodic re-normalisation that keeps
+the recursive phasor from decaying).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.phy.fixed import cmul_q15, q15
+
+
+def fshift(x: np.ndarray, freq_hz: float, sample_rate_hz: float) -> np.ndarray:
+    """Shift *x* in frequency by *freq_hz* (floating-point model)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = np.arange(len(x))
+    return x * np.exp(2j * np.pi * freq_hz * n / sample_rate_hz)
+
+
+def cfo_compensate(x: np.ndarray, cfo_hz: float, sample_rate_hz: float) -> np.ndarray:
+    """Undo a carrier frequency offset estimated at *cfo_hz*."""
+    return fshift(x, -cfo_hz, sample_rate_hz)
+
+
+def fshift_q15(
+    re: np.ndarray, im: np.ndarray, freq_hz: float, sample_rate_hz: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fixed-point frequency shift with the kernel's exact arithmetic.
+
+    The phasor advances by a constant per-sample rotation implemented as
+    a recursive Q15 complex multiply, exactly as the CGA kernel does it
+    (one ``cmul`` per sample; the phasor is re-seeded every 64 samples
+    from a table to bound the amplitude decay of repeated Q15
+    truncation).
+    """
+    re = np.asarray(re, dtype=np.int16)
+    im = np.asarray(im, dtype=np.int16)
+    n = len(re)
+    theta = 2 * np.pi * freq_hz / sample_rate_hz
+    step_r = q15(np.cos(theta))
+    step_i = q15(np.sin(theta))
+    out_re = np.zeros(n, dtype=np.int16)
+    out_im = np.zeros(n, dtype=np.int16)
+    ph_r, ph_i = np.int16(q15(1.0)), np.int16(0)
+    for k in range(n):
+        if k % 64 == 0:
+            # Re-seed from the exact phasor to bound truncation decay.
+            ph_r = np.int16(q15(np.cos(theta * k)))
+            ph_i = np.int16(q15(np.sin(theta * k)))
+        o_r, o_i = cmul_q15(re[k], im[k], ph_r, ph_i)
+        out_re[k], out_im[k] = o_r, o_i
+        ph_r, ph_i = cmul_q15(ph_r, ph_i, step_r, step_i)
+    return out_re, out_im

@@ -1,0 +1,94 @@
+"""OFDM symbol (de)framing: CP, carrier (de)mapping, pilot tracking.
+
+These are the golden models of the lighter Table 2 kernels:
+
+* ``remove zero carriers`` — compacting the 64 FFT outputs down to the
+  52 data bins (VLIW-mode data movement);
+* ``sample ordering`` / ``sample reordering`` / ``data shuffle`` —
+  layout changes between the antenna-major sample stream and the
+  carrier-major detection layout (VLIW-mode data movement);
+* ``tracking`` — common-phase-error estimation from the 4 pilots;
+* ``comp`` — applying the tracking phasor (and the FFT-scaling
+  compensation) to the data carriers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.params import OfdmParams
+
+#: 802.11 pilot polarity sequence (first few entries; cycled).
+PILOT_POLARITY = np.array([1, 1, 1, -1, 1, 1, 1, -1] * 16, dtype=np.float64)
+#: Pilot values per pilot carrier (stream 0 convention).
+PILOT_VALUES = {7: 1.0, 21: 1.0, 64 - 21: 1.0, 64 - 7: -1.0}
+
+
+def map_carriers(symbols: np.ndarray, params: OfdmParams, symbol_index: int = 0) -> np.ndarray:
+    """Place data symbols and pilots onto the FFT grid (one stream)."""
+    if len(symbols) != params.n_data_carriers:
+        raise ValueError(
+            "expected %d data symbols, got %d"
+            % (params.n_data_carriers, len(symbols))
+        )
+    grid = np.zeros(params.n_fft, dtype=np.complex128)
+    for value, k in zip(symbols, params.data_carriers):
+        grid[k] = value
+    pol = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
+    for k in params.pilot_carriers:
+        grid[k] = PILOT_VALUES[k] * pol
+    return grid
+
+
+def demap_carriers(grid: np.ndarray, params: OfdmParams) -> np.ndarray:
+    """Extract the data carriers ("remove zero carriers" + pilot strip)."""
+    return np.asarray(grid)[list(params.data_carriers)]
+
+
+def add_cp(symbol: np.ndarray, n_cp: int) -> np.ndarray:
+    """Prefix the last *n_cp* samples (cyclic prefix)."""
+    return np.concatenate([symbol[-n_cp:], symbol])
+
+
+def remove_cp(samples: np.ndarray, params: OfdmParams) -> np.ndarray:
+    """Drop the cyclic prefix of one symbol's worth of samples."""
+    if len(samples) < params.symbol_samples:
+        raise ValueError("not enough samples for one symbol")
+    return samples[params.n_cp : params.n_cp + params.n_fft]
+
+
+def track_pilots(
+    grid: np.ndarray, params: OfdmParams, symbol_index: int = 0
+) -> complex:
+    """Common phase error from the pilots (the ``tracking`` kernel).
+
+    Returns the unit phasor by which data carriers must be de-rotated.
+    """
+    pol = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
+    acc = 0.0 + 0.0j
+    for k in params.pilot_carriers:
+        expected = PILOT_VALUES[k] * pol
+        acc += grid[k] * np.conj(expected)
+    if abs(acc) < 1e-15:
+        return 1.0 + 0.0j
+    return acc / abs(acc)
+
+
+def apply_tracking(
+    grid: np.ndarray, phasor: complex, gain: float = 1.0
+) -> np.ndarray:
+    """De-rotate and rescale data carriers (the ``comp`` kernel)."""
+    return np.asarray(grid) * np.conj(phasor) * gain
+
+
+def interleave_streams(streams: np.ndarray) -> np.ndarray:
+    """Sample ordering: (n_streams, n) -> interleaved flat layout."""
+    return np.asarray(streams).T.reshape(-1)
+
+
+def deinterleave_streams(flat: np.ndarray, n_streams: int) -> np.ndarray:
+    """Sample reordering: inverse of :func:`interleave_streams`."""
+    flat = np.asarray(flat)
+    return flat.reshape(-1, n_streams).T

@@ -1,0 +1,188 @@
+"""Preamble generation and synchronisation (acorr / xcorr / CFO kernels).
+
+The preamble follows the 802.11a/n structure the paper's receiver
+processes in its first phase:
+
+* **STF** — ten repetitions of a 16-sample short symbol (from 12
+  occupied carriers at multiples of 4), used by the ``acorr`` kernel:
+  lag-16 autocorrelation whose plateau detects the packet and whose
+  phase gives the coarse CFO;
+* **LTF** — a 32-sample CP followed by two repetitions of a 64-sample
+  long symbol, used by the ``xcorr`` kernel for symbol timing and by
+  the fine CFO estimator (lag-64 autocorrelation);
+* for 2 spatial streams, a second orthogonally-mapped LTF pair (the
+  802.11n P-matrix ``[[1, 1], [1, -1]]``) enables per-carrier 2x2
+  channel estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: 802.11a short-training sequence occupied carriers (bin, value) with
+#: value scaled by sqrt(13/6).
+_STF_CARRIERS = {
+    4: 1 + 1j, 8: -1 - 1j, 12: 1 + 1j, 16: -1 - 1j, 20: -1 - 1j, 24: 1 + 1j,
+    -4: -1 - 1j, -8: -1 - 1j, -12: -1 - 1j, -16: 1 + 1j, -20: 1 + 1j, -24: 1 + 1j,
+}
+
+#: 802.11a long-training sequence (carriers -26..26, DC = 0).
+_LTF_SEQ = np.array(
+    [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+     1, -1, 1, 1, 1, 1,  # -26..-1
+     0,
+     1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1,
+     -1, 1, -1, 1, 1, 1, 1],  # +1..+26
+    dtype=np.float64,
+)
+
+
+def short_training_field(n_fft: int = 64) -> np.ndarray:
+    """The 160-sample STF: ten repetitions of the 16-sample short symbol."""
+    spectrum = np.zeros(n_fft, dtype=np.complex128)
+    scale = np.sqrt(13.0 / 6.0)
+    for k, v in _STF_CARRIERS.items():
+        spectrum[k % n_fft] = v * scale
+    symbol = np.fft.ifft(spectrum)
+    short = symbol[:16]
+    return np.tile(short, 10)
+
+
+def ltf_symbol(n_fft: int = 64) -> np.ndarray:
+    """One 64-sample long training symbol (time domain)."""
+    spectrum = np.zeros(n_fft, dtype=np.complex128)
+    for i, k in enumerate(range(-26, 27)):
+        spectrum[k % n_fft] = _LTF_SEQ[i]
+    return np.fft.ifft(spectrum)
+
+
+def long_training_field(n_fft: int = 64) -> np.ndarray:
+    """The 160-sample LTF: 32-sample CP + two long symbols."""
+    sym = ltf_symbol(n_fft)
+    return np.concatenate([sym[-32:], sym, sym])
+
+
+#: HT extension carriers (802.11n occupies +-27, +-28 beyond the legacy LTF).
+_HT_EXT = {27: -1.0, 28: -1.0, -27: 1.0, -28: 1.0}
+
+
+def ht_ltf_sequence(n_fft: int = 64) -> np.ndarray:
+    """Frequency-domain HT-LTF reference covering carriers +-28."""
+    spectrum = np.zeros(n_fft, dtype=np.float64)
+    for i, k in enumerate(range(-26, 27)):
+        spectrum[k % n_fft] = _LTF_SEQ[i]
+    for k, v in _HT_EXT.items():
+        spectrum[k % n_fft] = v
+    return spectrum
+
+
+def ht_ltf_symbol(n_fft: int = 64) -> np.ndarray:
+    """One 64-sample HT long training symbol (time domain)."""
+    return np.fft.ifft(ht_ltf_sequence(n_fft).astype(np.complex128))
+
+
+def mimo_preamble(n_fft: int = 64, n_streams: int = 2) -> np.ndarray:
+    """Per-stream preamble matrix (n_streams x samples).
+
+    Stream 0 sends STF + LTF + LTF_a; stream 1 sends STF(shifted) +
+    LTF_a with the P-matrix sign pattern so the two spatial channels can
+    be separated per carrier: over the two HT-LTF symbols, stream 0
+    sends (+L, +L) and stream 1 sends (+L, -L).
+    """
+    stf = short_training_field(n_fft)
+    sym = ht_ltf_symbol(n_fft)
+    ht_ltf1 = np.concatenate([sym[-16:], sym])  # 80 samples
+    ht_ltf2 = np.concatenate([sym[-16:], sym])
+    legacy = np.concatenate([stf, long_training_field(n_fft)])
+    rows = []
+    for stream in range(n_streams):
+        sign2 = -1.0 if stream == 1 else 1.0
+        # Cyclic shift on stream 1's legacy part avoids unintended
+        # beamforming; 8-sample circular shift.
+        leg = np.roll(legacy, -8) if stream == 1 else legacy
+        rows.append(np.concatenate([leg, ht_ltf1, sign2 * ht_ltf2]))
+    return np.vstack(rows)
+
+
+# ----------------------------------------------------------------------
+# Synchronisation estimators (golden models of the Table 2 kernels).
+# ----------------------------------------------------------------------
+
+
+def autocorrelate(x: np.ndarray, lag: int, window: int) -> np.ndarray:
+    """Sliding lag-*lag* autocorrelation over *window* samples.
+
+    ``c[n] = sum_{k<window} x[n+k+lag] * conj(x[n+k])`` — the ``acorr``
+    kernel.  Returns an array of length ``len(x) - lag - window + 1``.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n_out = len(x) - lag - window + 1
+    if n_out <= 0:
+        return np.zeros(0, dtype=np.complex128)
+    out = np.zeros(n_out, dtype=np.complex128)
+    for n in range(n_out):
+        seg_a = x[n + lag : n + lag + window]
+        seg_b = x[n : n + window]
+        out[n] = np.sum(seg_a * np.conj(seg_b))
+    return out
+
+
+def cross_correlate(x: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Sliding cross-correlation against a known reference (``xcorr``)."""
+    x = np.asarray(x, dtype=np.complex128)
+    ref = np.asarray(ref, dtype=np.complex128)
+    n_out = len(x) - len(ref) + 1
+    out = np.zeros(max(n_out, 0), dtype=np.complex128)
+    for n in range(max(n_out, 0)):
+        out[n] = np.sum(x[n : n + len(ref)] * np.conj(ref))
+    return out
+
+
+def detect_packet(
+    x: np.ndarray, lag: int = 16, window: int = 32, threshold: float = 0.6
+) -> int:
+    """Packet detection: first index where the normalised lag-16
+    autocorrelation exceeds *threshold*.  Returns -1 when not found."""
+    x = np.asarray(x, dtype=np.complex128)
+    corr = autocorrelate(x, lag, window)
+    for n in range(len(corr)):
+        # Normalise by the geometric mean of both windows' energies so
+        # the metric cannot explode when only the lagged window holds
+        # signal (early-trigger protection).
+        e0 = np.sum(np.abs(x[n : n + window]) ** 2)
+        e1 = np.sum(np.abs(x[n + lag : n + lag + window]) ** 2)
+        energy = np.sqrt(e0 * e1)
+        if energy <= 1e-12:
+            continue
+        if np.abs(corr[n]) / energy > threshold:
+            return n
+    return -1
+
+
+def estimate_cfo(x: np.ndarray, lag: int, window: int, sample_rate_hz: float) -> float:
+    """CFO from the phase of the lag-*lag* autocorrelation (in Hz)."""
+    corr = autocorrelate(x, lag, window)
+    if len(corr) == 0:
+        return 0.0
+    # Use the strongest correlation sample for robustness.
+    peak = corr[np.argmax(np.abs(corr))]
+    return float(np.angle(peak) / (2 * np.pi * lag) * sample_rate_hz)
+
+
+def timing_from_xcorr(x: np.ndarray, ref: np.ndarray) -> int:
+    """Symbol timing: earliest cross-correlation peak within 90% of max.
+
+    The long training field repeats the reference symbol, so several
+    near-equal peaks appear 64 samples apart; the earliest one marks the
+    first long symbol.
+    """
+    corr = np.abs(cross_correlate(x, ref))
+    if len(corr) == 0:
+        return 0
+    peak = float(np.max(corr))
+    if peak <= 0:
+        return 0
+    candidates = np.nonzero(corr >= 0.9 * peak)[0]
+    return int(candidates[0])

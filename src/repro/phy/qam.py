@@ -1,0 +1,67 @@
+"""Gray-mapped 64-QAM modulation and hard demapping (the demod kernel).
+
+802.11-style mapping: 6 bits per symbol, 3 bits per axis, Gray coded,
+normalised by 1/sqrt(42) so average symbol energy is 1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Gray code for 3 bits -> PAM-8 level index.
+_GRAY3 = [0, 1, 3, 2, 6, 7, 5, 4]
+#: PAM-8 amplitudes for level index 0..7.
+_LEVELS = np.array([-7, -5, -3, -1, 1, 3, 5, 7], dtype=np.float64)
+_NORM = 1.0 / np.sqrt(42.0)
+
+# 3-bit Gray label -> PAM-8 amplitude (level index i carries _GRAY3[i]).
+_BITS_TO_AMP = np.zeros(8)
+for _i, _code in enumerate(_GRAY3):
+    _BITS_TO_AMP[_code] = _LEVELS[_i]
+
+
+def qam64_constellation() -> np.ndarray:
+    """All 64 constellation points, indexed by the 6-bit label.
+
+    Label layout: bits [b5 b4 b3] select the I axis, [b2 b1 b0] the Q
+    axis (matching the modulator below).
+    """
+    points = np.zeros(64, dtype=np.complex128)
+    for label in range(64):
+        i_bits = (label >> 3) & 7
+        q_bits = label & 7
+        points[label] = (_BITS_TO_AMP[i_bits] + 1j * _BITS_TO_AMP[q_bits]) * _NORM
+    return points
+
+
+def qam64_modulate(bits: np.ndarray) -> np.ndarray:
+    """Map a bit array (multiple of 6) to complex symbols."""
+    bits = np.asarray(bits, dtype=np.int64).reshape(-1, 6)
+    i_bits = bits[:, 0] * 4 + bits[:, 1] * 2 + bits[:, 2]
+    q_bits = bits[:, 3] * 4 + bits[:, 4] * 2 + bits[:, 5]
+    return (_BITS_TO_AMP[i_bits] + 1j * _BITS_TO_AMP[q_bits]) * _NORM
+
+
+def _demap_axis(values: np.ndarray) -> np.ndarray:
+    """Hard-decide PAM-8 levels back to 3-bit Gray labels."""
+    scaled = np.asarray(values, dtype=np.float64) / _NORM
+    idx = np.clip(np.round((scaled + 7.0) / 2.0), 0, 7).astype(np.int64)
+    gray = np.array(_GRAY3, dtype=np.int64)
+    return gray[idx]
+
+
+def qam64_demodulate(symbols: np.ndarray) -> np.ndarray:
+    """Hard-decision demapping back to bits (inverse of the modulator)."""
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    i_label = _demap_axis(symbols.real)
+    q_label = _demap_axis(symbols.imag)
+    out = np.zeros((len(symbols), 6), dtype=np.int64)
+    out[:, 0] = (i_label >> 2) & 1
+    out[:, 1] = (i_label >> 1) & 1
+    out[:, 2] = i_label & 1
+    out[:, 3] = (q_label >> 2) & 1
+    out[:, 4] = (q_label >> 1) & 1
+    out[:, 5] = q_label & 1
+    return out.reshape(-1)

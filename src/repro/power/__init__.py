@@ -1,0 +1,40 @@
+"""Power and area models (Table 3, Fig 5, Fig 6).
+
+The paper's numbers come from gate-level estimation (PrimePower over
+switching activity) and layout; we substitute:
+
+* :mod:`repro.power.area` — a structural area model: per-macro
+  coefficients (mm^2 per SRAM KB, per functional unit, per register-file
+  bit-port) calibrated once against the published 5.79 mm^2 / Fig 5
+  breakdown, then applied to any :class:`~repro.arch.CgaArchitecture`;
+* :mod:`repro.power.model` — an activity-based energy model: each event
+  class counted by the simulator (FU op, RF port access, L1 bank access,
+  I$ fetch, configuration word, interconnect transfer) carries an energy
+  coefficient; coefficients are calibrated once against the published
+  mode powers and breakdowns (75 mW VLIW / 310 mW CGA, Fig 6a/6b), then
+  held fixed, so every application-level number (the 220 mW average,
+  per-kernel energy, ablations) is a model *prediction* on simulated
+  activity.
+"""
+
+from repro.power.area import AreaReport, estimate_area, PAPER_AREA_MM2
+from repro.power.model import (
+    PowerModel,
+    PowerReport,
+    calibrate_from_reference,
+    default_model,
+    LEAKAGE_TYPICAL_W,
+    LEAKAGE_65C_W,
+)
+
+__all__ = [
+    "AreaReport",
+    "estimate_area",
+    "PAPER_AREA_MM2",
+    "PowerModel",
+    "PowerReport",
+    "calibrate_from_reference",
+    "default_model",
+    "LEAKAGE_TYPICAL_W",
+    "LEAKAGE_65C_W",
+]

@@ -1,0 +1,128 @@
+"""Structural area model reproducing Fig 5.
+
+The paper reports 5.79 mm^2 in TSMC 90G with the breakdown: memories
+~50% (L1 + I$ + configuration memories), CGA functional units 29%, VLIW
+functional units 8%, global register file 5%, distributed register
+files 3%; the remainder is interconnect, control and whitespace.
+
+The model assigns each component class a coefficient over its structural
+parameter (SRAM kilobytes, FU count, register-file bit-ports, wire
+count).  Coefficients were fitted once so that the paper core reproduces
+the published breakdown; applied to modified architectures (ablations:
+more units, different RF sizes, denser interconnect) the model
+extrapolates area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.config import CgaArchitecture
+
+#: Published total die area of the paper core.
+PAPER_AREA_MM2 = 5.79
+
+# ----------------------------------------------------------------------
+# Calibrated coefficients (fit against Fig 5 on the paper core; the fit
+# is exact by construction for that instance).
+# ----------------------------------------------------------------------
+
+#: Bits of one configuration-memory word per functional unit (opcode +
+#: mux selects + write-back + immediate share) plus a control word.
+CONFIG_BITS_PER_FU = 48
+CONFIG_CTRL_BITS = 32
+
+#: mm^2 per SRAM kilobyte (single-ported macros, periphery included).
+MM2_PER_SRAM_KB = None  # derived below
+#: mm^2 per CGA-only functional unit (64-bit 4x16 SIMD datapath).
+MM2_PER_CGA_FU = None
+#: mm^2 per VLIW functional unit (adds decode and central port drivers).
+MM2_PER_VLIW_FU = None
+#: mm^2 per register-file bit-port (entries x width x (R+W) ports).
+MM2_PER_GRF_BITPORT = None
+MM2_PER_LRF_BITPORT = None
+#: mm^2 per interconnect wire (64-bit point-to-point link + mux share).
+MM2_PER_WIRE = None
+
+
+def _config_kbytes(arch: CgaArchitecture) -> float:
+    bits = arch.config_memory_contexts * (
+        arch.n_units * CONFIG_BITS_PER_FU + CONFIG_CTRL_BITS
+    )
+    return bits / 8 / 1024
+
+
+def _calibrate() -> None:
+    """Fit the coefficients to Fig 5 on the paper core (runs at import)."""
+    global MM2_PER_SRAM_KB, MM2_PER_CGA_FU, MM2_PER_VLIW_FU
+    global MM2_PER_GRF_BITPORT, MM2_PER_LRF_BITPORT, MM2_PER_WIRE
+    from repro.arch.presets import paper_core
+
+    core = paper_core()
+    mem_kb = (
+        core.l1.bytes / 1024 + core.icache.bytes / 1024 + _config_kbytes(core)
+    )
+    MM2_PER_SRAM_KB = 0.50 * PAPER_AREA_MM2 / mem_kb
+    n_cga_only = len(core.cga_only_fus)
+    MM2_PER_CGA_FU = 0.29 * PAPER_AREA_MM2 / n_cga_only
+    MM2_PER_VLIW_FU = 0.08 * PAPER_AREA_MM2 / core.vliw_width
+    grf_bitports = core.cdrf.bits * (core.cdrf.read_ports + core.cdrf.write_ports)
+    grf_bitports += core.cprf.bits * (core.cprf.read_ports + core.cprf.write_ports)
+    MM2_PER_GRF_BITPORT = 0.05 * PAPER_AREA_MM2 / grf_bitports
+    lrf_bitports = sum(
+        fu.local_rf.bits * (fu.local_rf.read_ports + fu.local_rf.write_ports)
+        for fu in core.fus
+        if fu.local_rf is not None
+    )
+    MM2_PER_LRF_BITPORT = 0.03 * PAPER_AREA_MM2 / lrf_bitports
+    MM2_PER_WIRE = 0.05 * PAPER_AREA_MM2 / core.interconnect.wire_count
+
+
+_calibrate()
+
+
+@dataclass
+class AreaReport:
+    """Estimated die area and its breakdown."""
+
+    components: Dict[str, float]  # mm^2 per component class
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_mm2
+        return {k: v / total for k, v in self.components.items()}
+
+    def summary(self) -> str:
+        lines = ["total %.2f mm^2" % self.total_mm2]
+        for name, mm2 in sorted(self.components.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                "  %-18s %5.2f mm^2  (%4.1f%%)"
+                % (name, mm2, 100 * mm2 / self.total_mm2)
+            )
+        return "\n".join(lines)
+
+
+def estimate_area(arch: CgaArchitecture) -> AreaReport:
+    """Estimate die area for *arch* with the calibrated coefficients."""
+    mem_kb = arch.l1.bytes / 1024 + arch.icache.bytes / 1024 + _config_kbytes(arch)
+    grf_bitports = arch.cdrf.bits * (arch.cdrf.read_ports + arch.cdrf.write_ports)
+    grf_bitports += arch.cprf.bits * (arch.cprf.read_ports + arch.cprf.write_ports)
+    lrf_bitports = sum(
+        fu.local_rf.bits * (fu.local_rf.read_ports + fu.local_rf.write_ports)
+        for fu in arch.fus
+        if fu.local_rf is not None
+    )
+    components = {
+        "memories": MM2_PER_SRAM_KB * mem_kb,
+        "CGA FUs": MM2_PER_CGA_FU * len(arch.cga_only_fus),
+        "VLIW FUs": MM2_PER_VLIW_FU * arch.vliw_width,
+        "global RF": MM2_PER_GRF_BITPORT * grf_bitports,
+        "distributed RF": MM2_PER_LRF_BITPORT * lrf_bitports,
+        "interconnect": MM2_PER_WIRE * arch.interconnect.wire_count,
+    }
+    return AreaReport(components)

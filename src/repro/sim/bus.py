@@ -1,0 +1,112 @@
+"""AMBA2-style slave interface and DMA engine.
+
+The processor is a slave in a multi-core SDR platform: the host loads
+input samples into the L1 scratchpad, preloads CGA configuration
+contexts through DMA, pokes special registers and collects results —
+all over an AHB-compatible port running at half the core clock.
+
+The model is functional with cycle accounting: each 32-bit beat costs
+``beat_cycles`` core cycles (2, for the half-speed bus clock), and L1
+beats go through the same bank arbiter as core accesses, so host traffic
+can visibly steal scratchpad bandwidth (the paper's configurable
+core-vs-bus AHB priority is the ``core_priority`` flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.memory import Scratchpad
+from repro.sim.stats import ActivityStats
+
+
+@dataclass
+class SpecialRegisters:
+    """The control/status register bank visible through the bus.
+
+    Mirrors the paper's level-sensitive control interface: endianness,
+    AHB priority, exception signalling, and the stall/resume/sleep
+    handshake.
+    """
+
+    endianness_big: bool = False
+    core_priority: bool = True
+    exception: int = 0
+    stalled: bool = False
+    sleeping: bool = False
+    resume_pending: bool = False
+
+
+class AmbaBus:
+    """AHB-compatible slave port into L1, config memory and special registers."""
+
+    #: Core cycles per 32-bit bus beat (bus clock is half the core clock).
+    beat_cycles = 2
+
+    def __init__(self, scratchpad: Scratchpad, stats: Optional[ActivityStats] = None) -> None:
+        self.scratchpad = scratchpad
+        self.special = SpecialRegisters()
+        self.stats = stats if stats is not None else ActivityStats()
+        self._cycle = 0
+
+    def advance_to(self, cycle: int) -> None:
+        """Synchronise the bus clock with the core clock."""
+        self._cycle = max(self._cycle, cycle)
+
+    def read_word(self, addr: int) -> int:
+        """Host read of one 32-bit word from L1."""
+        self.stats.bus_reads += 1
+        value, _delay = self.scratchpad.timed_read(self._cycle, addr, 4)
+        self._cycle += self.beat_cycles
+        return value
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Host write of one 32-bit word into L1."""
+        self.stats.bus_writes += 1
+        self.scratchpad.timed_write(self._cycle, addr, value, 4)
+        self._cycle += self.beat_cycles
+
+    def assert_stall(self) -> None:
+        """External stall: freeze the core while keeping state."""
+        self.special.stalled = True
+
+    def deassert_stall(self) -> None:
+        """Release the external stall."""
+        self.special.stalled = False
+
+    def assert_resume(self) -> None:
+        """Wake the core from the sleep state entered by ``halt``."""
+        self.special.resume_pending = True
+
+
+class DmaEngine:
+    """DMA used to preload configuration memories and bulk data.
+
+    One descriptor moves a block of 32-bit words.  Transfers are
+    accounted in ``dma_words`` for the power model and cost
+    ``AmbaBus.beat_cycles`` per word on the bus clock.
+    """
+
+    def __init__(self, bus: AmbaBus) -> None:
+        self.bus = bus
+
+    def write_block(self, addr: int, words: Sequence[int]) -> int:
+        """Write *words* starting at byte address *addr*; returns bus cycles."""
+        for i, word in enumerate(words):
+            self.bus.scratchpad.timed_write(self.bus._cycle, addr + 4 * i, word, 4)
+            self.bus._cycle += AmbaBus.beat_cycles
+        self.bus.stats.dma_words += len(words)
+        return AmbaBus.beat_cycles * len(words)
+
+    def load_configuration(self, n_contexts: int, words_per_context: int) -> int:
+        """Account for preloading *n_contexts* CGA contexts over DMA.
+
+        Configuration memories are not byte-addressable storage in the
+        model (contexts are structured objects), so this only accounts
+        time and energy: returns the bus cycles consumed.
+        """
+        words = n_contexts * words_per_context
+        self.bus.stats.dma_words += words
+        self.bus._cycle += AmbaBus.beat_cycles * words
+        return AmbaBus.beat_cycles * words

@@ -1,0 +1,101 @@
+"""Debug views: human-readable listings of programs and CGA schedules.
+
+The paper's prototyping flow included a dedicated debug interface; its
+software equivalent here renders compiled artefacts for inspection:
+
+* :func:`format_program` — the VLIW bundle stream as assembly;
+* :func:`format_kernel` — a CGA kernel's configuration contexts as a
+  unit-by-cycle grid with mux selections, the view a mapping engineer
+  uses to eyeball a modulo schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.program import (
+    CgaKernel,
+    CgaOp,
+    DstKind,
+    Program,
+    SrcKind,
+    SrcSel,
+)
+
+
+def _sel_text(sel: SrcSel) -> str:
+    base = {
+        SrcKind.SELF: "self",
+        SrcKind.WIRE: "fu%d" % sel.value,
+        SrcKind.LRF: "l%d" % sel.value,
+        SrcKind.CDRF: "r%d" % sel.value,
+        SrcKind.CPRF: "p%d" % sel.value,
+        SrcKind.IMM: "#%d" % (sel.value if sel.value < (1 << 32) else sel.value),
+    }[sel.kind]
+    if sel.init is not None:
+        return "phi(%s, init=%d)" % (base, sel.init)
+    return base
+
+
+def _op_text(op: CgaOp) -> str:
+    srcs = ", ".join(_sel_text(s) for s in op.srcs)
+    text = "%s %s" % (op.opcode.value, srcs)
+    for dst in op.dsts:
+        suffix = "@last" if dst.last_iteration_only else ""
+        kind = {DstKind.LRF: "l", DstKind.CDRF: "r", DstKind.CPRF: "p"}[dst.kind]
+        text += " ->%s%d%s" % (kind, dst.index, suffix)
+    if op.pred is not None:
+        sense = "!" if op.pred_negate else ""
+        text = "(%s%s) %s" % (sense, _sel_text(op.pred), text)
+    return "%s [s%d]" % (text, op.stage)
+
+
+def format_kernel(kernel: CgaKernel) -> str:
+    """Render a kernel's contexts: one line per (cycle slot, unit)."""
+    lines = [
+        "kernel %s: II=%d, %d stages, trip=%s, %d preloads"
+        % (
+            kernel.name,
+            kernel.ii,
+            kernel.stage_count,
+            kernel.trip_count
+            if kernel.trip_count is not None
+            else "r%d" % kernel.trip_count_reg,
+            len(kernel.preloads),
+        )
+    ]
+    for preload in kernel.preloads:
+        lines.append(
+            "  preload fu%d.l%d <- r%d"
+            % (preload.fu, preload.lrf_index, preload.cdrf_reg)
+        )
+    for phase, context in enumerate(kernel.contexts):
+        lines.append("  cycle %d:" % phase)
+        for fu in sorted(context.ops):
+            lines.append("    fu%-2d  %s" % (fu, _op_text(context.ops[fu])))
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render the VLIW stream and every kernel."""
+    lines = ["program %s: %d bundles, %d kernels" % (
+        program.name, len(program.bundles), len(program.kernels))]
+    for pc, bundle in enumerate(program.bundles):
+        slots = " | ".join(
+            str(inst) if inst is not None else "nop" for inst in bundle.slots
+        )
+        lines.append("%4d: %s" % (pc, slots))
+    for kid in sorted(program.kernels):
+        lines.append("")
+        lines.append("[kernel %d]" % kid)
+        lines.append(format_kernel(program.kernels[kid]))
+    return "\n".join(lines)
+
+
+def schedule_occupancy(kernel: CgaKernel, n_units: int = 16) -> List[List[str]]:
+    """Occupancy grid (II rows x units): opcode mnemonics or ''."""
+    grid = [["" for _ in range(n_units)] for _ in range(kernel.ii)]
+    for phase, context in enumerate(kernel.contexts):
+        for fu, op in context.ops.items():
+            grid[phase][fu] = op.opcode.value
+    return grid

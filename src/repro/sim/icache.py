@@ -1,0 +1,73 @@
+"""Direct-mapped instruction cache with 128-bit lines.
+
+The paper's I$ is 32 KB with a dedicated 128-bit-wide instruction memory
+interface; after reset the first fetches all miss, filling the cache
+(cold-start behaviour the simulator reproduces).
+
+The cache is modelled at the timing level only: it maps a *bundle
+address* to a line and answers hit (no extra cycles) or miss
+(``miss_penalty`` stall cycles while the 128-bit line refills).  Bundle
+contents live in the program object; one line holds ``bundles_per_line``
+consecutive bundles (a 3-slot bundle is assumed to occupy one 128-bit
+word, as the paper's instruction memory interface suggests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.resources import MemorySpec
+from repro.sim.stats import ActivityStats
+
+
+class InstructionCache:
+    """Timing model of the direct-mapped I$.
+
+    Parameters
+    ----------
+    spec:
+        The SRAM macro (words x 128-bit).
+    miss_penalty:
+        Refill cycles per missed line.
+    bundles_per_line:
+        How many VLIW bundles share one 128-bit line (default 1: one
+        3-issue bundle per line).
+    """
+
+    def __init__(
+        self,
+        spec: MemorySpec,
+        miss_penalty: int = 8,
+        bundles_per_line: int = 1,
+        stats: Optional[ActivityStats] = None,
+    ) -> None:
+        self.spec = spec
+        self.n_lines = spec.words
+        self.miss_penalty = miss_penalty
+        self.bundles_per_line = bundles_per_line
+        self._tags: List[Optional[int]] = [None] * self.n_lines
+        self.stats = stats if stats is not None else ActivityStats()
+
+    def fetch(self, bundle_pc: int) -> int:
+        """Fetch the bundle at *bundle_pc*; returns stall cycles (0 on hit)."""
+        line_addr = bundle_pc // self.bundles_per_line
+        index = line_addr % self.n_lines
+        tag = line_addr // self.n_lines
+        if self._tags[index] == tag:
+            self.stats.icache_hits += 1
+            return 0
+        self._tags[index] = tag
+        self.stats.icache_misses += 1
+        return self.miss_penalty
+
+    def flush(self) -> None:
+        """Invalidate all lines (reset behaviour)."""
+        self._tags = [None] * self.n_lines
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fetches that hit."""
+        total = self.stats.icache_hits + self.stats.icache_misses
+        if total == 0:
+            return 0.0
+        return self.stats.icache_hits / total

@@ -1,0 +1,81 @@
+"""Shared load/store semantics (addressing, widths, sign handling).
+
+Both execution modes (VLIW and CGA) funnel memory operations through
+these helpers so that addressing semantics match Table 1 exactly in one
+place:
+
+* byte loads/stores use unscaled offsets;
+* halfword accesses scale *immediate* offsets by 2 (``imm << 1``);
+* word and 64-bit accesses scale immediate offsets by 4;
+* register offsets are always byte offsets (the compiler pre-scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.isa.bits import MASK32, sext, to_unsigned
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class MemOpInfo:
+    """Width/sign/scale attributes of one memory opcode."""
+
+    size: int  # bytes moved
+    signed: bool  # sign-extend loads
+    imm_scale: int  # left-shift applied to immediate offsets
+
+
+_MEM_INFO = {
+    Opcode.LD_UC: MemOpInfo(1, False, 0),
+    Opcode.LD_C: MemOpInfo(1, True, 0),
+    Opcode.LD_UC2: MemOpInfo(2, False, 1),
+    Opcode.LD_C2: MemOpInfo(2, True, 1),
+    Opcode.LD_I: MemOpInfo(4, False, 2),
+    Opcode.LD_Q: MemOpInfo(8, False, 2),
+    Opcode.ST_C: MemOpInfo(1, False, 0),
+    Opcode.ST_C2: MemOpInfo(2, False, 1),
+    Opcode.ST_I: MemOpInfo(4, False, 2),
+    Opcode.ST_Q: MemOpInfo(8, False, 2),
+}
+
+
+def mem_info(op: Opcode) -> MemOpInfo:
+    """Return the width/sign/scale attributes of memory opcode *op*."""
+    return _MEM_INFO[op]
+
+
+def effective_address(op: Opcode, base: int, offset: int, offset_is_imm: bool) -> int:
+    """Compute the byte address of a memory operation.
+
+    *base* and *offset* are raw register/immediate values; only the low
+    32 bits participate in address arithmetic.
+    """
+    info = _MEM_INFO[op]
+    if offset_is_imm:
+        offset = offset << info.imm_scale
+    return (base + offset) & MASK32
+
+
+def load_result(op: Opcode, raw: int) -> int:
+    """Convert a raw little-endian load into the architectural register value.
+
+    Sub-word loads extend to 32 bits (zero or sign per the opcode) and
+    the upper 32 bits of the destination are cleared; ``ld_q`` fills the
+    full 64-bit register.
+    """
+    info = _MEM_INFO[op]
+    if info.size == 8:
+        return raw
+    width = info.size * 8
+    if info.signed:
+        return sext(raw, width, 32)
+    return raw & ((1 << width) - 1)
+
+
+def store_payload(op: Opcode, value: int) -> Tuple[int, int]:
+    """Return ``(raw_value, size_bytes)`` for a store of *value*."""
+    info = _MEM_INFO[op]
+    return to_unsigned(value, info.size * 8), info.size

@@ -1,0 +1,126 @@
+"""The L1 data scratchpad: 4 single-ported banks, crossbar, contention queue.
+
+The paper's L1 is a 16K x 32-bit scratchpad split over 4 banks with one
+port per bank, a 5-channel crossbar (four load/store FUs plus the AHB
+slave port) and *transparent* bank-access contention logic: when two
+requestors hit the same bank in the same cycle, one is queued and the
+consumer simply sees a longer latency (the "5/7" load latency of
+Table 1).
+
+The model is cycle-based: each bank owns a ``next_free`` cycle; a
+request arriving at cycle *t* is served at ``max(t, next_free)`` and
+bumps ``next_free`` by one.  The difference between service time and
+arrival time is the contention delay surfaced to the core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.arch.resources import MemorySpec
+from repro.isa.bits import MASK64, to_signed, to_unsigned
+from repro.sim.stats import ActivityStats
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-range scratchpad accesses."""
+
+
+class Scratchpad:
+    """Byte-addressable, bank-interleaved data scratchpad.
+
+    Words are interleaved across banks (``bank = word_addr % banks``) so
+    that sequential 32-bit streams and 64-bit accesses spread over
+    banks.  Storage is little-endian.
+    """
+
+    def __init__(self, spec: MemorySpec, stats: Optional[ActivityStats] = None) -> None:
+        self.spec = spec
+        self.n_banks = spec.banks
+        self.size_bytes = spec.bytes
+        self._mem = bytearray(self.size_bytes)
+        self._bank_next_free: List[int] = [0] * self.n_banks
+        self.stats = stats if stats is not None else ActivityStats()
+
+    # ------------------------------------------------------------------
+    # Functional (un-timed) accessors — used for test setup, DMA and
+    # golden-output extraction.
+    # ------------------------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size_bytes:
+            raise MemoryError_(
+                "scratchpad access [%d, %d) outside %d bytes"
+                % (addr, addr + size, self.size_bytes)
+            )
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        """Functional read of *size* bytes (no timing, no statistics)."""
+        self._check(addr, size)
+        return bytes(self._mem[addr : addr + size])
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        """Functional write (no timing, no statistics)."""
+        self._check(addr, len(data))
+        self._mem[addr : addr + len(data)] = data
+
+    def read_word(self, addr: int, size: int = 4, signed: bool = False) -> int:
+        """Functional read of a 1/2/4/8-byte little-endian word."""
+        raw = int.from_bytes(self.load_bytes(addr, size), "little")
+        if signed:
+            return to_signed(raw, size * 8)
+        return raw
+
+    def write_word(self, addr: int, value: int, size: int = 4) -> None:
+        """Functional write of a 1/2/4/8-byte little-endian word."""
+        self.store_bytes(addr, to_unsigned(value, size * 8).to_bytes(size, "little"))
+
+    # ------------------------------------------------------------------
+    # Timed port interface used by the core and the AHB bridge.
+    # ------------------------------------------------------------------
+
+    def bank_of(self, addr: int) -> int:
+        """Bank index serving byte address *addr* (word interleaving)."""
+        return (addr >> 2) % self.n_banks
+
+    def _arbitrate(self, cycle: int, addr: int) -> int:
+        """Claim the bank port; returns contention delay in cycles."""
+        bank = self.bank_of(addr)
+        serve = max(cycle, self._bank_next_free[bank])
+        self._bank_next_free[bank] = serve + 1
+        delay = serve - cycle
+        if delay > 0:
+            self.stats.l1_bank_conflicts += 1
+            self.stats.l1_conflict_stall_cycles += delay
+        return delay
+
+    def timed_read(self, cycle: int, addr: int, size: int) -> Tuple[int, int]:
+        """Read through a crossbar channel at *cycle*.
+
+        Returns ``(raw_value, extra_delay)``; *extra_delay* is the bank
+        contention penalty on top of the architectural load latency.
+        64-bit reads claim both banks covering the two words.
+        """
+        self._check(addr, size)
+        delay = self._arbitrate(cycle, addr)
+        if size == 8:
+            delay = max(delay, self._arbitrate(cycle, addr + 4))
+        self.stats.l1_reads += 1 if size <= 4 else 2
+        raw = int.from_bytes(self._mem[addr : addr + size], "little")
+        return raw, delay
+
+    def timed_write(self, cycle: int, addr: int, value: int, size: int) -> int:
+        """Write through a crossbar channel at *cycle*; returns extra delay."""
+        self._check(addr, size)
+        delay = self._arbitrate(cycle, addr)
+        if size == 8:
+            delay = max(delay, self._arbitrate(cycle, addr + 4))
+        self.stats.l1_writes += 1 if size <= 4 else 2
+        self._mem[addr : addr + size] = to_unsigned(value, size * 8).to_bytes(
+            size, "little"
+        )
+        return delay
+
+    def reset_timing(self) -> None:
+        """Clear bank-arbiter state (fresh timing, memory contents kept)."""
+        self._bank_next_free = [0] * self.n_banks

@@ -1,0 +1,135 @@
+"""Register file models with port-pressure checking and access counting."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.bits import MASK64
+from repro.sim.stats import ActivityStats
+
+
+class PortOverflowError(Exception):
+    """Raised when a cycle uses more ports than the register file has.
+
+    The compiler is responsible for never exceeding port counts; the
+    simulator checks and raises, so scheduling bugs surface as hard
+    errors instead of silently optimistic timing.
+    """
+
+
+class RegisterFile:
+    """The central data register file (CDRF): 64 x 64-bit, 6R/3W.
+
+    Port usage is tracked per cycle via :meth:`begin_cycle`; reads and
+    writes beyond the port budget raise :class:`PortOverflowError`.
+    """
+
+    def __init__(
+        self,
+        entries: int = 64,
+        width: int = 64,
+        read_ports: int = 6,
+        write_ports: int = 3,
+        stats: Optional[ActivityStats] = None,
+        stat_prefix: str = "cdrf",
+    ) -> None:
+        self.entries = entries
+        self.width = width
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self._mask = (1 << width) - 1
+        self._regs: List[int] = [0] * entries
+        self._reads_this_cycle = 0
+        self._writes_this_cycle = 0
+        self.stats = stats if stats is not None else ActivityStats()
+        self._stat_prefix = stat_prefix
+
+    def begin_cycle(self) -> None:
+        """Reset per-cycle port usage (call once per simulated clock)."""
+        self._reads_this_cycle = 0
+        self._writes_this_cycle = 0
+
+    def read(self, index: int) -> int:
+        """Read register *index* through one read port."""
+        self._reads_this_cycle += 1
+        if self._reads_this_cycle > self.read_ports:
+            raise PortOverflowError(
+                "%s: %d reads in one cycle exceeds %d ports"
+                % (self._stat_prefix, self._reads_this_cycle, self.read_ports)
+            )
+        setattr(
+            self.stats,
+            self._stat_prefix + "_reads",
+            getattr(self.stats, self._stat_prefix + "_reads") + 1,
+        )
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write register *index* through one write port."""
+        self._writes_this_cycle += 1
+        if self._writes_this_cycle > self.write_ports:
+            raise PortOverflowError(
+                "%s: %d writes in one cycle exceeds %d ports"
+                % (self._stat_prefix, self._writes_this_cycle, self.write_ports)
+            )
+        setattr(
+            self.stats,
+            self._stat_prefix + "_writes",
+            getattr(self.stats, self._stat_prefix + "_writes") + 1,
+        )
+        self._regs[index] = value & self._mask
+
+    def peek(self, index: int) -> int:
+        """Debug read that does not consume a port or count an access."""
+        return self._regs[index]
+
+    def poke(self, index: int, value: int) -> None:
+        """Debug write that does not consume a port or count an access."""
+        self._regs[index] = value & self._mask
+
+
+class PredicateFile(RegisterFile):
+    """The central predicate register file (CPRF): 64 x 1-bit."""
+
+    def __init__(self, stats: Optional[ActivityStats] = None) -> None:
+        super().__init__(
+            entries=64,
+            width=1,
+            read_ports=6,
+            write_ports=3,
+            stats=stats,
+            stat_prefix="cprf",
+        )
+
+
+class LocalRegisterFile:
+    """A CGA unit's private 2R/1W register file.
+
+    Port checking is simpler here: the CGA context format can encode at
+    most two local reads and one local write per unit per cycle, so the
+    context decoder enforces the limit structurally; the model just
+    counts accesses for the power model.
+    """
+
+    def __init__(
+        self, entries: int = 8, width: int = 64, stats: Optional[ActivityStats] = None
+    ) -> None:
+        self.entries = entries
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._regs: List[int] = [0] * entries
+        self.stats = stats if stats is not None else ActivityStats()
+
+    def read(self, index: int) -> int:
+        """Read one entry (counted as local-RF traffic)."""
+        self.stats.lrf_reads += 1
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write one entry (counted as local-RF traffic)."""
+        self.stats.lrf_writes += 1
+        self._regs[index] = value & self._mask
+
+    def peek(self, index: int) -> int:
+        """Debug read without statistics."""
+        return self._regs[index]

@@ -1,0 +1,216 @@
+"""Activity statistics traced by the simulator.
+
+:class:`ActivityStats` is the contract between the simulator and the
+power model: every counter corresponds to a class of switching events
+whose energy cost the power model prices.  :class:`KernelProfile`
+aggregates the per-kernel numbers reported in Table 2 of the paper
+(mode, IPC, cycles).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.opcodes import Opcode, OpGroup, group_of, op_weight
+
+
+@dataclass
+class ActivityStats:
+    """Event counters for one simulated region.
+
+    Cycle counters
+    --------------
+    ``vliw_cycles`` / ``cga_cycles`` split total time by mode;
+    ``stall_cycles`` are cycles lost to interlocks, branch penalties,
+    I$ misses and L1 bank conflicts (included in the mode counters).
+    """
+
+    vliw_cycles: int = 0
+    cga_cycles: int = 0
+    stall_cycles: int = 0
+    sleep_cycles: int = 0
+
+    # Operation counters.
+    vliw_ops: int = 0
+    cga_ops: int = 0
+    fu_ops: Counter = field(default_factory=Counter)  # fu index -> executed ops
+    op_groups: Counter = field(default_factory=Counter)  # OpGroup -> count
+    squashed_ops: int = 0
+
+    # Register file traffic.
+    cdrf_reads: int = 0
+    cdrf_writes: int = 0
+    cprf_reads: int = 0
+    cprf_writes: int = 0
+    lrf_reads: int = 0
+    lrf_writes: int = 0
+
+    # Memory system.
+    l1_reads: int = 0
+    l1_writes: int = 0
+    l1_bank_conflicts: int = 0
+    l1_conflict_stall_cycles: int = 0
+    icache_hits: int = 0
+    icache_misses: int = 0
+
+    # CGA configuration and interconnect.
+    config_words: int = 0
+    interconnect_transfers: int = 0
+
+    # Bus / DMA.
+    bus_reads: int = 0
+    bus_writes: int = 0
+    dma_words: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Total active cycles (VLIW + CGA, sleep excluded)."""
+        return self.vliw_cycles + self.cga_cycles
+
+    @property
+    def total_ops(self) -> int:
+        """Total executed (non-squashed) operations, IPC-weighted."""
+        return self.vliw_ops + self.cga_ops
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole region."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.total_ops / self.total_cycles
+
+    @property
+    def cga_fraction(self) -> float:
+        """Fraction of active time spent in CGA mode."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.cga_cycles / self.total_cycles
+
+    def count_op(self, fu: int, op: Opcode, in_cga: bool) -> None:
+        """Record one executed operation on unit *fu*."""
+        weight = op_weight(op)
+        self.fu_ops[fu] += weight
+        self.op_groups[group_of(op)] += weight
+        if in_cga:
+            self.cga_ops += weight
+        else:
+            self.vliw_ops += weight
+
+    def merge(self, other: "ActivityStats") -> None:
+        """Accumulate *other* into this object (used by region profiling)."""
+        for name in (
+            "vliw_cycles",
+            "cga_cycles",
+            "stall_cycles",
+            "sleep_cycles",
+            "vliw_ops",
+            "cga_ops",
+            "squashed_ops",
+            "cdrf_reads",
+            "cdrf_writes",
+            "cprf_reads",
+            "cprf_writes",
+            "lrf_reads",
+            "lrf_writes",
+            "l1_reads",
+            "l1_writes",
+            "l1_bank_conflicts",
+            "l1_conflict_stall_cycles",
+            "icache_hits",
+            "icache_misses",
+            "config_words",
+            "interconnect_transfers",
+            "bus_reads",
+            "bus_writes",
+            "dma_words",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.fu_ops.update(other.fu_ops)
+        self.op_groups.update(other.op_groups)
+
+    def snapshot(self) -> "ActivityStats":
+        """Return a deep copy of the current counters."""
+        copy = ActivityStats()
+        copy.merge(self)
+        return copy
+
+    def delta_since(self, earlier: "ActivityStats") -> "ActivityStats":
+        """Return the difference between this snapshot and an *earlier* one."""
+        out = ActivityStats()
+        out.merge(self)
+        for name in (
+            "vliw_cycles",
+            "cga_cycles",
+            "stall_cycles",
+            "sleep_cycles",
+            "vliw_ops",
+            "cga_ops",
+            "squashed_ops",
+            "cdrf_reads",
+            "cdrf_writes",
+            "cprf_reads",
+            "cprf_writes",
+            "lrf_reads",
+            "lrf_writes",
+            "l1_reads",
+            "l1_writes",
+            "l1_bank_conflicts",
+            "l1_conflict_stall_cycles",
+            "icache_hits",
+            "icache_misses",
+            "config_words",
+            "interconnect_transfers",
+            "bus_reads",
+            "bus_writes",
+            "dma_words",
+        ):
+            setattr(out, name, getattr(self, name) - getattr(earlier, name))
+        out.fu_ops = self.fu_ops - earlier.fu_ops
+        out.op_groups = self.op_groups - earlier.op_groups
+        return out
+
+
+@dataclass
+class KernelProfile:
+    """One row of Table 2: a profiled kernel region.
+
+    ``mode`` is "CGA", "VLIW" or "mixed" following the paper's
+    classification: CGA when nearly all cycles run on the array, VLIW
+    when no loop was mapped, mixed when a mapped loop is accompanied by
+    significant VLIW pre/post-processing.
+    """
+
+    name: str
+    stats: ActivityStats
+    ii: Optional[int] = None
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles of the region."""
+        return self.stats.total_cycles
+
+    @property
+    def ipc(self) -> float:
+        """Region IPC (weighted ops / cycles)."""
+        return self.stats.ipc
+
+    @property
+    def mode(self) -> str:
+        """Paper-style mode classification of the region."""
+        frac = self.stats.cga_fraction
+        if frac >= 0.75:
+            return "CGA"
+        if frac <= 0.10:
+            return "VLIW"
+        return "mixed"
+
+    def row(self) -> Dict[str, object]:
+        """Render as a Table 2 row."""
+        return {
+            "kernel": self.name,
+            "mode": self.mode,
+            "IPC": round(self.ipc, 2),
+            "cycles": self.cycles,
+        }

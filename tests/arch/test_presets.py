@@ -1,0 +1,163 @@
+"""Tests that the paper core preset matches the paper's specification."""
+
+import pytest
+
+from repro.arch import CgaArchitecture, paper_core, small_test_core
+from repro.arch.resources import FunctionalUnit, RegisterFileSpec
+from repro.arch.topology import full_topology
+from repro.isa import Opcode
+from repro.isa.opcodes import OpGroup
+
+
+@pytest.fixture(scope="module")
+def core():
+    return paper_core()
+
+
+def test_sixteen_units_4x4(core):
+    assert core.rows == core.cols == 4
+    assert core.n_units == 16
+
+
+def test_three_vliw_slots_with_cdrf_ports(core):
+    assert core.vliw_width == 3
+    for fu in core.vliw_fus:
+        assert fu.has_cdrf_port
+        assert fu.local_rf is None
+
+
+def test_thirteen_local_register_files(core):
+    cga_only = core.cga_only_fus
+    assert len(cga_only) == 13
+    for fu in cga_only:
+        assert fu.local_rf is not None
+        assert fu.local_rf.read_ports == 2
+        assert fu.local_rf.write_ports == 1
+
+
+def test_central_register_files(core):
+    assert core.cdrf.entries == 64 and core.cdrf.width == 64
+    assert core.cdrf.read_ports == 6 and core.cdrf.write_ports == 3
+    assert core.cprf.entries == 64 and core.cprf.width == 1
+
+
+def test_table1_fu_assignment(core):
+    assert core.fus_supporting(Opcode.BR) == [0]
+    assert core.fus_supporting(Opcode.LD_I) == [0, 1, 2, 3]
+    assert core.fus_supporting(Opcode.ST_I) == [0, 1, 2, 3]
+    assert core.fus_supporting(Opcode.DIV) == [0, 1]
+    assert core.fus_supporting(Opcode.ADD) == list(range(16))
+    assert core.fus_supporting(Opcode.C4PROD) == list(range(16))
+
+
+def test_l1_scratchpad_geometry(core):
+    # 16K x 32-bit total across 4 single-ported banks = 64 KB.
+    assert core.l1.banks == 4
+    assert core.l1.words * core.l1.banks == 16 * 1024
+    assert core.l1.width == 32
+    assert core.l1.bytes == 64 * 1024
+
+
+def test_icache_geometry(core):
+    # 32 KB, 128-bit wide lines.
+    assert core.icache.bytes == 32 * 1024
+    assert core.icache.width == 128
+
+
+def test_peak_gops_matches_paper(core):
+    assert core.peak_gops_16bit == pytest.approx(25.6)
+    assert core.clock_hz == 400_000_000
+
+
+def test_summary_mentions_key_numbers(core):
+    text = core.summary()
+    assert "4x4" in text
+    assert "25.6" in text
+    assert "64 KB" in text
+
+
+def test_fu_count_validation():
+    core = paper_core()
+    with pytest.raises(ValueError):
+        CgaArchitecture(
+            name="bad",
+            rows=4,
+            cols=4,
+            fus=core.fus[:15],
+            interconnect=core.interconnect,
+            cdrf=core.cdrf,
+            cprf=core.cprf,
+            local_rf_entries=8,
+            l1=core.l1,
+            icache=core.icache,
+            config_memory_contexts=128,
+        )
+
+
+def test_interconnect_size_validation():
+    core = paper_core()
+    with pytest.raises(ValueError):
+        CgaArchitecture(
+            name="bad",
+            rows=4,
+            cols=4,
+            fus=core.fus,
+            interconnect=full_topology(8),
+            cdrf=core.cdrf,
+            cprf=core.cprf,
+            local_rf_entries=8,
+            l1=core.l1,
+            icache=core.icache,
+            config_memory_contexts=128,
+        )
+
+
+def test_vliw_slot_numbering_validation():
+    core = paper_core()
+    fus = list(core.fus)
+    # Duplicate slot 0 on unit 1.
+    bad = FunctionalUnit(
+        index=1,
+        groups=fus[1].groups,
+        vliw_slot=0,
+        has_cdrf_port=True,
+    )
+    fus[1] = bad
+    with pytest.raises(ValueError):
+        CgaArchitecture(
+            name="bad",
+            rows=4,
+            cols=4,
+            fus=tuple(fus),
+            interconnect=core.interconnect,
+            cdrf=core.cdrf,
+            cprf=core.cprf,
+            local_rf_entries=8,
+            l1=core.l1,
+            icache=core.icache,
+            config_memory_contexts=128,
+        )
+
+
+def test_small_test_core_is_consistent():
+    core = small_test_core()
+    assert core.n_units == 4
+    assert core.vliw_width == 1
+    assert core.fus_supporting(Opcode.BR) == [0]
+    assert len(core.fus_supporting(Opcode.LD_I)) == 2
+
+
+def test_fu_supports_and_groups():
+    core = paper_core()
+    fu0 = core.fus[0]
+    assert fu0.supports(Opcode.JMP)
+    assert fu0.can_load_store
+    fu15 = core.fus[15]
+    assert not fu15.supports(Opcode.JMP)
+    assert not fu15.can_load_store
+    assert fu15.supports(Opcode.D4PROD)
+
+
+def test_register_file_bits():
+    rf = RegisterFileSpec("x", 64, 64, 6, 3)
+    assert rf.bits == 4096

@@ -1,0 +1,117 @@
+"""MRRG resource-model unit tests."""
+
+import pytest
+
+from repro.arch import paper_core
+from repro.compiler.dfg import CompileError
+from repro.compiler.mrrg import Mrrg
+
+
+@pytest.fixture
+def mrrg():
+    return Mrrg(paper_core(), ii=4)
+
+
+class TestSlots:
+    def test_claim_and_conflict(self, mrrg):
+        assert mrrg.slot_free(3, 1)
+        mrrg.claim_slot(3, 1, uid=7)
+        assert not mrrg.slot_free(3, 1)
+        assert not mrrg.slot_free(3, 5)  # 5 mod 4 == 1
+        assert mrrg.slot_free(3, 2)
+        with pytest.raises(CompileError):
+            mrrg.claim_slot(3, 5, uid=8)
+
+    def test_slots_per_unit_independent(self, mrrg):
+        mrrg.claim_slot(0, 0, uid=1)
+        assert mrrg.slot_free(1, 0)
+
+
+class TestCommitsAndWindows:
+    def test_commit_uniqueness(self, mrrg):
+        mrrg.claim_commit(2, 1)
+        assert not mrrg.commit_free(2, 5)  # same phase
+        assert mrrg.commit_free(2, 2)
+
+    def test_window_blocks_foreign_commits(self, mrrg):
+        mrrg.claim_commit(2, 0)
+        mrrg.extend_window(2, 0, 2)  # value live through phases 1, 2
+        assert not mrrg.commit_free(2, 1)
+        assert not mrrg.commit_free(2, 2)
+        assert mrrg.commit_free(2, 3)
+
+    def test_window_cannot_swallow_existing_commit(self, mrrg):
+        mrrg.claim_commit(2, 0)
+        mrrg.claim_commit(2, 2)
+        assert mrrg.can_extend_window(2, 0, 1)
+        assert not mrrg.can_extend_window(2, 0, 2)
+
+    def test_window_bounded_by_ii(self, mrrg):
+        mrrg.claim_commit(2, 0)
+        assert not mrrg.can_extend_window(2, 0, 4)  # >= II
+        assert mrrg.can_extend_window(2, 0, 3)
+
+    def test_window_wraps_modulo_ii(self, mrrg):
+        mrrg.claim_commit(2, 3)
+        mrrg.extend_window(2, 3, 2)  # live through phases 0 and 1
+        assert not mrrg.commit_free(2, 0)
+        assert not mrrg.commit_free(2, 1)
+        assert mrrg.commit_free(2, 2)
+
+
+class TestPorts:
+    def test_cdrf_read_budget(self, mrrg):
+        for _ in range(6):
+            mrrg.claim_cdrf_read(2)
+        assert not mrrg.cdrf_read_free(2)
+        assert mrrg.cdrf_read_free(3)
+        with pytest.raises(CompileError):
+            mrrg.claim_cdrf_read(6)  # phase 2 again
+
+    def test_cdrf_write_budget(self, mrrg):
+        for _ in range(3):
+            mrrg.claim_cdrf_write(0)
+        assert not mrrg.cdrf_write_free(4)
+        with pytest.raises(CompileError):
+            mrrg.claim_cdrf_write(0)
+
+
+class TestLrf:
+    def test_entries_allocate_and_reuse(self, mrrg):
+        e1 = mrrg.claim_lrf(5, "base")
+        e2 = mrrg.claim_lrf(5, "base")
+        assert e1 == e2
+        e3 = mrrg.claim_lrf(5, "coeff")
+        assert e3 != e1
+
+    def test_vliw_units_have_no_lrf(self, mrrg):
+        assert not mrrg.lrf_alloc_free(0, "base")
+
+    def test_exhaustion(self, mrrg):
+        for k in range(8):
+            mrrg.claim_lrf(5, "v%d" % k)
+        assert not mrrg.lrf_alloc_free(5, "v8")
+        with pytest.raises(CompileError):
+            mrrg.claim_lrf(5, "v8")
+
+    def test_preload_list(self, mrrg):
+        mrrg.claim_lrf(5, "base")
+        mrrg.claim_lrf(7, "coeff")
+        assert mrrg.preload_list() == [(5, 0, "base"), (7, 0, "coeff")]
+
+
+class TestCheckpoint:
+    def test_restore_rolls_back(self, mrrg):
+        snap = mrrg.checkpoint()
+        mrrg.claim_slot(0, 0, uid=1)
+        mrrg.claim_commit(0, 1)
+        mrrg.claim_cdrf_read(0)
+        mrrg.restore(snap)
+        assert mrrg.slot_free(0, 0)
+        assert mrrg.commit_free(0, 1)
+        assert mrrg.cdrf_read_free(0, 6)
+
+    def test_utilization(self, mrrg):
+        assert mrrg.utilization() == 0.0
+        mrrg.claim_slot(0, 0, uid=1)
+        assert mrrg.utilization() == pytest.approx(1 / 64)

@@ -1,0 +1,169 @@
+"""VLIW list scheduler and linker tests."""
+
+import pytest
+
+from repro.arch import paper_core
+from repro.compiler import CompileError, KernelBuilder
+from repro.compiler.builder import PhysReg, VliwBuilder
+from repro.compiler.linker import ProgramLinker
+from repro.compiler.vliw_sched import RegisterMap, schedule_vliw
+from repro.isa import Opcode
+from repro.sim import Core
+
+
+def run_section(build_fn, mem=()):
+    arch = paper_core()
+    linker = ProgramLinker(arch)
+    build_fn(linker.vliw())
+    program = linker.link()
+    core = Core(arch, program)
+    for addr, value, size in mem:
+        core.scratchpad.write_word(addr, value, size)
+    core.run()
+    return core
+
+
+def test_straight_line_section():
+    result_reg = PhysReg(40)
+
+    def build(vb):
+        a = vb.mov_imm(6)
+        b = vb.mov_imm(7)
+        c = vb.op(Opcode.MUL, a, b)
+        vb.op(Opcode.ADD, c, 0, dst=result_reg)
+
+    core = run_section(build)
+    assert core.cdrf.peek(40) == 42
+
+
+def test_independent_ops_pack_into_one_bundle():
+    arch = paper_core()
+    vb = VliwBuilder("pack")
+    vb.mov_imm(1)
+    vb.mov_imm(2)
+    vb.mov_imm(3)
+    section = vb.finish()
+    slot_groups = [fu.groups for fu in arch.vliw_fus]
+    regs = RegisterMap(list(range(1, 32)), list(range(1, 60)))
+    bundles = schedule_vliw(section, slot_groups, regs)
+    assert len(bundles) == 1
+    assert sum(1 for s in bundles[0].slots if s is not None) == 3
+
+
+def test_dependent_ops_serialise():
+    arch = paper_core()
+    vb = VliwBuilder("chain")
+    a = vb.mov_imm(1)
+    b = vb.add(a, 1)
+    c = vb.add(b, 1)
+    section = vb.finish()
+    slot_groups = [fu.groups for fu in arch.vliw_fus]
+    regs = RegisterMap(list(range(1, 32)), list(range(1, 60)))
+    bundles = schedule_vliw(section, slot_groups, regs)
+    assert len(bundles) == 3
+
+
+def test_counted_loop_executes_trip_times():
+    acc = PhysReg(41)
+
+    def build(vb):
+        vb.op(Opcode.ADD, 0, 0, dst=acc)
+        with vb.counted_loop(9):
+            vb.op(Opcode.ADD, acc, 5, dst=acc)
+
+    core = run_section(build)
+    assert core.cdrf.peek(41) == 45
+
+
+def test_loop_with_memory():
+    out = PhysReg(42)
+
+    def build(vb):
+        base = vb.mov_imm(0)
+        idx = vb.mov_imm(0)
+        vb.op(Opcode.ADD, 0, 0, dst=out)
+        with vb.counted_loop(6):
+            x = vb.op(Opcode.LD_I, idx, 0)
+            vb.op(Opcode.ADD, out, x, dst=out)
+            vb.op(Opcode.ADD, idx, 4, dst=idx)
+
+    mem = [(4 * k, 10 * (k + 1), 4) for k in range(6)]
+    core = run_section(build, mem=mem)
+    assert core.cdrf.peek(42) == 10 * 21
+
+
+def test_store_in_loop():
+    def build(vb):
+        addr = vb.mov_imm(128)
+        val = vb.mov_imm(1)
+        with vb.counted_loop(4):
+            vb.store(Opcode.ST_I, addr, 0, val)
+            vb.op(Opcode.ADD, addr, 4, dst=addr)
+            vb.op(Opcode.ADD, val, val, dst=val)
+
+    core = run_section(build)
+    assert [core.scratchpad.read_word(128 + 4 * k) for k in range(4)] == [1, 2, 4, 8]
+
+
+def test_vliw_ipc_in_paper_range():
+    """Rolled loops with dependences land in the paper's 1-2.7 VLIW IPC."""
+
+    def build(vb):
+        a = vb.mov_imm(0)
+        b = vb.mov_imm(100)
+        with vb.counted_loop(50):
+            x = vb.add(a, 1)
+            y = vb.add(b, 2)
+            vb.add(x, y)
+
+    core = run_section(build)
+    ipc = core.stats.vliw_ops / core.stats.vliw_cycles
+    assert 0.5 < ipc < 3.0
+
+
+def test_nested_loops_rejected():
+    vb = VliwBuilder("nested")
+    with pytest.raises(CompileError):
+        with vb.counted_loop(2):
+            with vb.counted_loop(2):
+                pass
+
+
+def test_linker_kernel_then_vliw_consumes_liveout():
+    kb = KernelBuilder("acc")
+    kb.accumulate(Opcode.ADD, 3, init=0, live_out="sum")
+    arch = paper_core()
+    linker = ProgramLinker(arch)
+    outs = linker.call_kernel(kb.finish(), trip_count=7)
+    final = PhysReg(45)
+    linker.vliw().op(Opcode.ADD, outs["sum"], 100, dst=final)
+    program = linker.link()
+    core = Core(arch, program)
+    core.run()
+    assert core.cdrf.peek(45) == 121
+
+
+def test_linker_two_kernels_chained():
+    """Kernel 2's trip count comes from kernel 1's live-out."""
+    kb1 = KernelBuilder("k1")
+    kb1.accumulate(Opcode.ADD, 1, init=0, live_out="n")
+    kb2 = KernelBuilder("k2")
+    kb2.accumulate(Opcode.ADD, 10, init=0, live_out="total")
+    arch = paper_core()
+    linker = ProgramLinker(arch)
+    outs1 = linker.call_kernel(kb1.finish(), trip_count=5)  # n = 5
+    outs2 = linker.call_kernel(kb2.finish(), trip_count=outs1["n"])
+    program = linker.link()
+    core = Core(arch, program)
+    core.run()
+    assert core.cdrf.peek(outs2["total"].index) == 50
+
+
+def test_register_exhaustion_raises():
+    vb_arch = paper_core()
+    linker = ProgramLinker(vb_arch)
+    vb = linker.vliw()
+    with pytest.raises(CompileError):
+        for _ in range(100):
+            vb.mov_imm(1)
+        linker.link()

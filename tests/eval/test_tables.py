@@ -1,0 +1,76 @@
+"""Evaluation-harness unit tests (formatting and static reports).
+
+The expensive modem-backed reports are exercised by the benchmark
+harness and tests/modem; these tests cover the pieces that do not need
+a packet simulation.
+"""
+
+import pytest
+
+from repro.eval import fig5_report, table1_text
+from repro.modem.profile import (
+    PAPER_TABLE2,
+    Table2Row,
+    format_table2,
+    table2_rows,
+)
+from repro.modem.receiver import ReceiverOutput, RegionRun
+from repro.sim.stats import ActivityStats, KernelProfile
+
+
+def test_table1_contains_every_group():
+    text = table1_text()
+    for token in ["arith", "simd1", "simd2", "div", "ldmem", "branch"]:
+        assert token in text
+    # Table 1 anchors.
+    assert "24" in text  # divider width
+    assert "64" in text  # SIMD width
+
+
+def test_paper_table2_totals_consistent():
+    pre = [r for r in PAPER_TABLE2 if r[0] == "preamble" and r[1] != "total"]
+    data = [r for r in PAPER_TABLE2 if r[0] == "data" and r[1] != "total"]
+    assert sum(r[4] for r in pre) == 6105
+    assert sum(r[4] for r in data) == 1531
+
+
+def _fake_output():
+    def region(name, cga_cycles, vliw_cycles, ops):
+        stats = ActivityStats(cga_cycles=cga_cycles, vliw_cycles=vliw_cycles)
+        stats.cga_ops = ops if cga_cycles else 0
+        stats.vliw_ops = 0 if cga_cycles else ops
+        return RegionRun(name, KernelProfile(name, stats))
+
+    import numpy as np
+
+    return ReceiverOutput(
+        preamble_regions=[region("acorr", 90, 10, 400), region("fshift", 200, 4, 2400)],
+        data_regions=[region("demod QAM64", 220, 4, 2500)],
+        bits=np.zeros(4, dtype=np.int64),
+        detect_pos=32,
+        ltf1_start=224,
+        coarse_cfo_hz=5e4,
+        fine_cfo_hz=0.0,
+        stats=ActivityStats(),
+    )
+
+
+def test_table2_rows_pair_with_paper():
+    rows = table2_rows(_fake_output())
+    acorr = next(r for r in rows if r.kernel == "acorr")
+    assert acorr.paper_cycles == 122  # the first paper acorr row
+    assert acorr.paper_mode == "mixed"
+    demod = next(r for r in rows if r.kernel == "demod QAM64")
+    assert demod.paper_cycles == 224
+    totals = [r for r in rows if r.kernel == "total"]
+    assert {t.paper_cycles for t in totals} == {6105, 1531}
+
+
+def test_format_table2_renders():
+    text = format_table2(table2_rows(_fake_output()))
+    assert "acorr" in text and "paper" in text and "cycles" in text
+
+
+def test_fig5_report_mentions_shares():
+    text = fig5_report()
+    assert "memories" in text and "5.79" in text

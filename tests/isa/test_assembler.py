@@ -1,0 +1,128 @@
+"""Assembler / disassembler round-trip and error-handling tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import Imm, Instruction, Opcode, PredReg, Reg, assemble, disassemble
+from repro.isa.assembler import AssemblyError, assemble_line
+from repro.isa.opcodes import OpGroup, group_of
+
+
+def test_assemble_basic_add():
+    (inst,) = assemble("add r3, r1, r2")
+    assert inst == Instruction(Opcode.ADD, dst=Reg(3), srcs=(Reg(1), Reg(2)))
+
+
+def test_assemble_immediate_forms():
+    (inst,) = assemble("lsl r1, r2, #4")
+    assert inst.srcs == (Reg(2), Imm(4))
+    (inst,) = assemble("add r1, r2, #0x10")
+    assert inst.srcs == (Reg(2), Imm(16))
+    (inst,) = assemble("add r1, r2, #-5")
+    assert inst.srcs == (Reg(2), Imm(-5))
+
+
+def test_assemble_predicated():
+    (inst,) = assemble("(p3) add r1, r1, r2")
+    assert inst.pred == PredReg(3)
+    assert not inst.pred_negate
+    (inst,) = assemble("(!p3) br #-8")
+    assert inst.pred == PredReg(3)
+    assert inst.pred_negate
+
+
+def test_assemble_store_has_no_dst():
+    (inst,) = assemble("st_i r10, #4, r5")
+    assert inst.dst is None
+    assert inst.srcs == (Reg(10), Imm(4), Reg(5))
+
+
+def test_assemble_pred_setters():
+    (inst,) = assemble("pred_eq p1, r2, r3")
+    assert inst.dst == PredReg(1)
+    (inst,) = assemble("pred_set p0")
+    assert inst.dst == PredReg(0)
+    assert inst.srcs == ()
+
+
+def test_assemble_control():
+    insts = assemble("cga #2\nhalt\nnop")
+    assert [i.opcode for i in insts] == [Opcode.CGA, Opcode.HALT, Opcode.NOP]
+    assert insts[0].srcs == (Imm(2),)
+
+
+def test_comments_and_blank_lines_skipped():
+    program = """
+    ; full-line comment
+    add r1, r0, r0   ; trailing comment
+    # another comment style
+
+    sub r2, r1, r0
+    """
+    insts = assemble(program)
+    assert [i.opcode for i in insts] == [Opcode.ADD, Opcode.SUB]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "frobnicate r1, r2, r3",
+        "add r1, r2",  # missing operand
+        "add r1, r2, r3, r4",  # too many
+        "add r99, r1, r2",  # register out of range
+        "add r1, r2, 5",  # immediate without '#'
+    ],
+)
+def test_assembly_errors(bad):
+    with pytest.raises((AssemblyError, ValueError)):
+        assemble(bad)
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblyError, match="line 2"):
+        assemble("add r1, r0, r0\nbogus r1")
+
+
+def _roundtrippable_ops():
+    skip_groups = set()
+    return [op for op in Opcode if group_of(op) not in skip_groups]
+
+
+@pytest.mark.parametrize("op", _roundtrippable_ops())
+def test_roundtrip_every_opcode(op):
+    """disassemble → assemble is the identity for every opcode."""
+    group = group_of(op)
+    if op is Opcode.NOP or op is Opcode.HALT:
+        inst = Instruction(op)
+    elif op is Opcode.CGA:
+        inst = Instruction(op, srcs=(Imm(1),))
+    elif op in (Opcode.PRED_CLEAR, Opcode.PRED_SET):
+        inst = Instruction(op, dst=PredReg(2))
+    elif group is OpGroup.PRED:
+        inst = Instruction(op, dst=PredReg(2), srcs=(Reg(1), Reg(2)))
+    elif group is OpGroup.STMEM:
+        inst = Instruction(op, srcs=(Reg(1), Imm(4), Reg(2)))
+    elif op in (Opcode.JMP, Opcode.BR):
+        inst = Instruction(op, srcs=(Imm(-4),))
+    elif op in (Opcode.JMPL, Opcode.BRL):
+        inst = Instruction(op, dst=Reg(9), srcs=(Imm(16),))
+    elif op in (Opcode.C4SWAP32, Opcode.C4SWAP16, Opcode.C4NEGB):
+        inst = Instruction(op, dst=Reg(3), srcs=(Reg(1),))
+    else:
+        inst = Instruction(op, dst=Reg(3), srcs=(Reg(1), Reg(2)))
+    text = disassemble(inst)
+    assert assemble_line(text) == inst
+
+
+@given(
+    st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.C4ADD, Opcode.D4PROD]),
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+    st.booleans(),
+)
+def test_roundtrip_property(op, d, s1, imm, use_imm):
+    src2 = Imm(imm) if use_imm else Reg(s1)
+    inst = Instruction(op, dst=Reg(d), srcs=(Reg(s1), src2))
+    assert assemble_line(disassemble(inst)) == inst

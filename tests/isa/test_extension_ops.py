@@ -1,0 +1,66 @@
+"""Tests for the documented extension opcodes (Table 1 is explicitly partial)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import Opcode, execute
+from repro.isa.bits import MASK64, pack_lanes, sat16, split_lanes
+from repro.isa.opcodes import DUAL_ISSUE_OPS, OpGroup, group_of, op_weight
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+@given(u64)
+def test_c4swap32_swaps_halves(a):
+    la = split_lanes(a)
+    out = split_lanes(execute(Opcode.C4SWAP32, [a]))
+    assert out == [la[2], la[3], la[0], la[1]]
+
+
+@given(u64)
+def test_c4swap16_swaps_pairs(a):
+    la = split_lanes(a)
+    out = split_lanes(execute(Opcode.C4SWAP16, [a]))
+    assert out == [la[1], la[0], la[3], la[2]]
+
+
+@given(u64)
+def test_swap_involutions(a):
+    assert execute(Opcode.C4SWAP32, [execute(Opcode.C4SWAP32, [a])]) == a
+    assert execute(Opcode.C4SWAP16, [execute(Opcode.C4SWAP16, [a])]) == a
+
+
+@given(u64, u64)
+def test_c4max_c4min_lanewise(a, b):
+    la, lb = split_lanes(a), split_lanes(b)
+    assert split_lanes(execute(Opcode.C4MAX, [a, b])) == [
+        max(la[i], lb[i]) for i in range(4)
+    ]
+    assert split_lanes(execute(Opcode.C4MIN, [a, b])) == [
+        min(la[i], lb[i]) for i in range(4)
+    ]
+
+
+@given(u64, u64)
+def test_max_min_sum_identity(a, b):
+    """max(a,b) + min(a,b) == a + b lane-wise (no saturation in this identity)."""
+    la, lb = split_lanes(a), split_lanes(b)
+    mx = split_lanes(execute(Opcode.C4MAX, [a, b]))
+    mn = split_lanes(execute(Opcode.C4MIN, [a, b]))
+    assert [mx[i] + mn[i] for i in range(4)] == [la[i] + lb[i] for i in range(4)]
+
+
+@given(u64)
+def test_c4negb_conjugates_pairs(a):
+    la = split_lanes(a)
+    out = split_lanes(execute(Opcode.C4NEGB, [a]))
+    assert out == [la[0], sat16(-la[1]), la[2], sat16(-la[3])]
+
+
+def test_ld_q_st_q_grouping_and_weight():
+    assert group_of(Opcode.LD_Q) is OpGroup.LDMEM
+    assert group_of(Opcode.ST_Q) is OpGroup.STMEM
+    assert DUAL_ISSUE_OPS == {Opcode.LD_Q, Opcode.ST_Q}
+    assert op_weight(Opcode.LD_Q) == 2
+    assert op_weight(Opcode.ST_Q) == 2
+    assert op_weight(Opcode.ADD) == 1

@@ -1,0 +1,108 @@
+"""Tests for the Table 1 opcode/group metadata."""
+
+import pytest
+
+from repro.isa import GROUP_INFO, Opcode, OpGroup, group_of, latency_of, ops_in_group
+from repro.isa.opcodes import (
+    is_branch,
+    is_commutative,
+    is_load,
+    is_memory,
+    is_store,
+    writes_predicate,
+)
+
+
+def test_every_opcode_has_a_group():
+    for op in Opcode:
+        assert isinstance(group_of(op), OpGroup)
+
+
+def test_group_partition_is_exact():
+    seen = set()
+    for group in OpGroup:
+        for op in ops_in_group(group):
+            assert op not in seen
+            seen.add(op)
+    assert seen == set(Opcode)
+
+
+@pytest.mark.parametrize(
+    "group,latency",
+    [
+        (OpGroup.ARITH, 1),
+        (OpGroup.LOGIC, 1),
+        (OpGroup.SHIFT, 1),
+        (OpGroup.COMP, 1),
+        (OpGroup.MUL, 2),
+        (OpGroup.LDMEM, 5),
+        (OpGroup.STMEM, 1),
+        (OpGroup.SIMD1, 1),
+        (OpGroup.SIMD2, 3),
+        (OpGroup.DIV, 8),
+    ],
+)
+def test_table1_latencies(group, latency):
+    assert GROUP_INFO[group].latency == latency
+
+
+def test_branch_latencies_table1():
+    # Absolute branches take 2 cycles, PC-relative take 3.
+    assert latency_of(Opcode.JMP) == 2
+    assert latency_of(Opcode.JMPL) == 2
+    assert latency_of(Opcode.BR) == 3
+    assert latency_of(Opcode.BRL) == 3
+
+
+@pytest.mark.parametrize(
+    "group,fu_range",
+    [
+        (OpGroup.ARITH, (0, 15)),
+        (OpGroup.SIMD1, (0, 15)),
+        (OpGroup.SIMD2, (0, 15)),
+        (OpGroup.BRANCH, (0, 0)),
+        (OpGroup.LDMEM, (0, 3)),
+        (OpGroup.STMEM, (0, 3)),
+        (OpGroup.DIV, (0, 1)),
+    ],
+)
+def test_table1_fu_ranges(group, fu_range):
+    assert GROUP_INFO[group].fu_range == fu_range
+
+
+@pytest.mark.parametrize(
+    "group,width",
+    [
+        (OpGroup.ARITH, 32),
+        (OpGroup.PRED, 32),
+        (OpGroup.SIMD1, 64),
+        (OpGroup.SIMD2, 64),
+        (OpGroup.DIV, 24),
+    ],
+)
+def test_table1_widths(group, width):
+    assert GROUP_INFO[group].width == width
+
+
+def test_predicates_write_predicate_file():
+    assert writes_predicate(Opcode.PRED_EQ)
+    assert writes_predicate(Opcode.PRED_CLEAR)
+    assert not writes_predicate(Opcode.EQ)
+
+
+def test_memory_classification():
+    assert is_memory(Opcode.LD_I) and is_load(Opcode.LD_I)
+    assert is_memory(Opcode.ST_C2) and is_store(Opcode.ST_C2)
+    assert not is_memory(Opcode.ADD)
+    assert is_branch(Opcode.BR)
+    assert not is_branch(Opcode.CGA)
+
+
+def test_commutativity_flags():
+    assert is_commutative(Opcode.ADD)
+    assert is_commutative(Opcode.XOR)
+    assert not is_commutative(Opcode.SUB)
+    assert not is_commutative(Opcode.LSL)
+    # The cross product pairs lanes asymmetrically.
+    assert not is_commutative(Opcode.C4PROD)
+    assert is_commutative(Opcode.D4PROD)

@@ -1,0 +1,307 @@
+"""FFT, MIMO (SDM/equaliser), CORDIC and VLIW kernel tests vs golden."""
+
+import numpy as np
+import pytest
+
+from repro.arch import paper_core
+from repro.compiler.builder import PhysReg
+from repro.compiler.linker import ProgramLinker
+from repro.kernels.common import (
+    load_complex_array,
+    pack_complex_word,
+    store_complex_array,
+)
+from repro.kernels.fft import (
+    all_stage_halves,
+    build_reorder_dfg,
+    build_stage1_dfg,
+    build_stage_dfg,
+    reorder_table_words,
+    stage_params,
+    stage_twiddle_words,
+)
+from repro.kernels.sdm import W_SHIFT, build_eqcoef_dfg, build_sdm_dfg
+from repro.kernels.sync import (
+    atan_table_q16,
+    angle_q16_to_hz,
+    build_cordic_dfg,
+    cordic_atan2_q16,
+)
+from repro.kernels import vliw_kernels
+from repro.isa.bits import to_signed
+from repro.phy.fft import fft_fixed
+from repro.phy.fixed import q15, quantize_complex
+from repro.sim import Core
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return paper_core()
+
+
+class TestFftKernels:
+    """Full 64-point FFT: reorder + stage1 + 5 generic stages."""
+
+    def _run_fft(self, arch, re, im):
+        n = 64
+        buf_in, buf, tab_addr, tw_addr = 0, 512, 4096, 5120
+        linker = ProgramLinker(arch)
+        reorder = build_reorder_dfg()
+        linker.call_kernel(
+            reorder, live_ins={"src": buf_in, "dst": buf, "tab": tab_addr}, trip_count=n
+        )
+        linker.call_kernel(build_stage1_dfg(), live_ins={"buf": buf}, trip_count=n // 2)
+        stage_dfg = build_stage_dfg()
+        tw_tables = {}
+        offset = 0
+        for half in all_stage_halves(n):
+            params = stage_params(n, half)
+            words = stage_twiddle_words(n, half)
+            tw_tables[half] = (tw_addr + offset, words)
+            linker.call_kernel(
+                build_stage_dfg("fft_stage_h%d" % half),
+                live_ins={
+                    "buf": buf,
+                    "tw": tw_addr + offset,
+                    **params,
+                },
+                trip_count=n // 4,
+            )
+            offset += 8 * len(words)
+        program = linker.link()
+        core = Core(arch, program)
+        store_complex_array(core.scratchpad, buf_in, re, im)
+        for k, byte_off in enumerate(reorder_table_words(n)):
+            core.scratchpad.write_word(tab_addr + 4 * k, byte_off, 4)
+        for half, (addr, words) in tw_tables.items():
+            for k, w in enumerate(words):
+                core.scratchpad.write_word(addr + 8 * k, w, 8)
+        core.run()
+        return core, load_complex_array(core.scratchpad, buf, n)
+
+    def test_fft64_matches_fixed_point_golden(self, arch):
+        rng = np.random.default_rng(11)
+        x = 0.25 * (rng.normal(size=64) + 1j * rng.normal(size=64))
+        re, im = quantize_complex(x)
+        core, (got_re, got_im) = self._run_fft(arch, re, im)
+        exp_re, exp_im = fft_fixed(re, im)
+        assert np.array_equal(got_re, exp_re)
+        assert np.array_equal(got_im, exp_im)
+
+    def test_fft64_single_tone(self, arch):
+        n, k0 = 64, 3
+        t = np.arange(n)
+        x = 0.4 * np.exp(2j * np.pi * k0 * t / n)
+        re, im = quantize_complex(x)
+        core, (got_re, got_im) = self._run_fft(arch, re, im)
+        mags = got_re.astype(np.int64) ** 2 + got_im.astype(np.int64) ** 2
+        assert int(np.argmax(mags)) == k0
+        # CGA-dominated region.
+        assert core.stats.cga_fraction > 0.7
+
+
+class TestMimoKernels:
+    def _pack_matrix_rows(self, m, scale):
+        """2x2 complex matrix -> two packed words (row-major)."""
+        words = []
+        for r in range(2):
+            re0, im0 = int(q15(m[r, 0].real * scale)), int(q15(m[r, 0].imag * scale))
+            re1, im1 = int(q15(m[r, 1].real * scale)), int(q15(m[r, 1].imag * scale))
+            lo = pack_complex_word(re0, im0)
+            hi = pack_complex_word(re1, im1)
+            words.append(lo | (hi << 32))
+        return words
+
+    def test_eqcoef_then_sdm_recovers_streams(self, arch):
+        """W = inv(H) computed on the array, then x_hat = W y."""
+        rng = np.random.default_rng(12)
+        n_carriers = 8
+        hbase, wbase, ybase, xbase = 0, 512, 1024, 1536
+        linker = ProgramLinker(arch)
+        linker.call_kernel(
+            build_eqcoef_dfg(),
+            live_ins={"hbase": hbase, "wbase": wbase},
+            trip_count=n_carriers,
+        )
+        linker.call_kernel(
+            build_sdm_dfg(),
+            live_ins={"ybase": ybase, "wbase": wbase, "xbase": xbase},
+            trip_count=n_carriers,
+        )
+        program = linker.link()
+        core = Core(arch, program)
+        hs, xs, ys = [], [], []
+        for c in range(n_carriers):
+            # Well-conditioned random channel: the fixed-point W is Q8
+            # and |det|^2 is Q15, so near-singular draws would amplify
+            # quantisation beyond the check tolerance.
+            while True:
+                h = (rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))) * 0.25
+                h += 0.4 * np.eye(2)
+                if abs(np.linalg.det(h)) >= 0.15:
+                    break
+            x = (rng.normal(size=2) + 1j * rng.normal(size=2)) * 0.2
+            y = h @ x
+            hs.append(h)
+            xs.append(x)
+            ys.append(y)
+            for i, w in enumerate(self._pack_matrix_rows(h, 1.0)):
+                core.scratchpad.write_word(hbase + 16 * c + 8 * i, w, 8)
+            re0, im0 = int(q15(y[0].real)), int(q15(y[0].imag))
+            re1, im1 = int(q15(y[1].real)), int(q15(y[1].imag))
+            yw = pack_complex_word(re0, im0) | (pack_complex_word(re1, im1) << 32)
+            core.scratchpad.write_word(ybase + 8 * c, yw, 8)
+        core.run()
+        # x_hat comes back in Q(W_SHIFT).
+        for c in range(n_carriers):
+            word = core.scratchpad.read_word(xbase + 8 * c, 8)
+            lanes = [to_signed(word >> (16 * l), 16) for l in range(4)]
+            scale = 1 << W_SHIFT
+            got = np.array(
+                [lanes[0] + 1j * lanes[1], lanes[2] + 1j * lanes[3]]
+            ) / scale
+            assert np.max(np.abs(got - xs[c])) < 0.08
+
+    def test_sdm_identity_equalizer(self, arch):
+        """W = I passes y through (scaled by Q(W_SHIFT))."""
+        n_carriers = 4
+        wbase, ybase, xbase = 0, 256, 512
+        linker = ProgramLinker(arch)
+        linker.call_kernel(
+            build_sdm_dfg(),
+            live_ins={"ybase": ybase, "wbase": wbase, "xbase": xbase},
+            trip_count=n_carriers,
+        )
+        core = Core(arch, linker.link())
+        one = 1 << W_SHIFT
+        for c in range(n_carriers):
+            row0 = pack_complex_word(one, 0)  # w00 = 1, w01 = 0
+            row1 = pack_complex_word(one, 0) << 32  # w10 = 0, w11 = 1
+            core.scratchpad.write_word(wbase + 16 * c, row0, 8)
+            core.scratchpad.write_word(wbase + 16 * c + 8, row1, 8)
+            yw = pack_complex_word(1000 + c, -500) | (pack_complex_word(250, 125 + c) << 32)
+            core.scratchpad.write_word(ybase + 8 * c, yw, 8)
+        core.run()
+        one_q8 = 1 << W_SHIFT
+        for c in range(n_carriers):
+            word = core.scratchpad.read_word(xbase + 8 * c, 8)
+            lanes = [to_signed(word >> (16 * l), 16) for l in range(4)]
+            # Output is Q8: x = (1.0 * y) requantised from Q15 to Q8.
+            for lane, y_raw in zip(lanes, (1000 + c, -500, 250, 125 + c)):
+                expected = (one_q8 * y_raw) >> 15  # floor, like d4prod
+                assert abs(lane - expected) <= 1
+
+
+class TestCordic:
+    def test_golden_cordic_approximates_atan2(self):
+        for angle in (-1.2, -0.4, 0.0, 0.3, 1.0):
+            x = int(20000 * np.cos(angle))
+            y = int(20000 * np.sin(angle))
+            got = cordic_atan2_q16(y, x) / (1 << 16)
+            assert got == pytest.approx(angle, abs=3e-3)
+
+    def test_kernel_matches_golden(self, arch):
+        iters = 14
+        tab_addr = 0
+        x0, y0 = 18000, -7000
+        linker = ProgramLinker(arch)
+        x_reg, y_reg = PhysReg(40), PhysReg(41)
+        vb = linker.vliw()
+        vb.op(vliw_kernels.Opcode.ADD, 0, x0, dst=x_reg)
+        vb.op(vliw_kernels.Opcode.ADD, 0, y0, dst=y_reg)
+        outs = linker.call_kernel(
+            build_cordic_dfg(iterations=iters),
+            live_ins={"tab": tab_addr, "x0": x_reg, "y0": y_reg},
+            trip_count=iters,
+        )
+        core = Core(arch, linker.link())
+        for k, v in enumerate(atan_table_q16(iters)):
+            core.scratchpad.write_word(tab_addr + 4 * k, v, 4)
+        core.run()
+        got = to_signed(core.cdrf.peek(outs["angle"].index), 32)
+        assert got == cordic_atan2_q16(y0, x0, iters)
+
+    def test_angle_to_hz(self):
+        angle = cordic_atan2_q16(0, 30000)  # zero angle
+        assert angle_q16_to_hz(angle, 16, 20e6) == pytest.approx(0.0, abs=100.0)
+
+
+class TestVliwKernels:
+    def run_section(self, arch, build, mem=()):
+        linker = ProgramLinker(arch)
+        build(linker.vliw())
+        core = Core(arch, linker.link())
+        for addr, value, size in mem:
+            core.scratchpad.write_word(addr, value, size)
+        core.run()
+        return core
+
+    def test_remove_zero_carriers(self, arch):
+        grid, out = 0, 512
+        mem = [(grid + 4 * k, 1000 + k, 4) for k in range(64)]
+        core = self.run_section(
+            arch, lambda vb: vliw_kernels.emit_remove_zero_carriers(vb, grid, out), mem
+        )
+        got = [core.scratchpad.read_word(out + 4 * k) for k in range(56)]
+        expected = [1000 + k for k in range(1, 29)] + [1000 + k for k in range(36, 64)]
+        assert got == expected
+        assert core.stats.cga_cycles == 0  # pure VLIW kernel
+
+    def test_interleave_deinterleave_roundtrip(self, arch):
+        a, b, merged, outa, outb = 0, 256, 512, 1024, 1280
+        n = 16
+        mem = [(a + 8 * k, (k << 32) | 1, 8) for k in range(n)] + [
+            (b + 8 * k, (k << 32) | 2, 8) for k in range(n)
+        ]
+
+        def build(vb):
+            vliw_kernels.emit_interleave(vb, a, b, merged, n)
+            vliw_kernels.emit_deinterleave(vb, merged, outa, outb, n)
+
+        core = self.run_section(arch, build, mem)
+        for k in range(n):
+            assert core.scratchpad.read_word(outa + 8 * k, 8) == ((k << 32) | 1)
+            assert core.scratchpad.read_word(outb + 8 * k, 8) == ((k << 32) | 2)
+        ipc = core.stats.vliw_ops / core.stats.vliw_cycles
+        assert 0.5 < ipc < 3.0  # paper's VLIW-mode kernels: 1.1 - 2.7
+
+    def test_gather_words(self, arch):
+        table, src, dst = 0, 256, 512
+        perm = [3, 0, 2, 1]
+        mem = [(table + 4 * k, 4 * perm[k], 4) for k in range(4)] + [
+            (src + 4 * k, 70 + k, 4) for k in range(4)
+        ]
+        core = self.run_section(
+            arch, lambda vb: vliw_kernels.emit_gather_words(vb, table, src, dst, 4), mem
+        )
+        got = [core.scratchpad.read_word(dst + 4 * k) for k in range(4)]
+        assert got == [70 + p for p in perm]
+
+    def test_tracking_phasor(self, arch):
+        grid = 0
+        # Pilots at word offsets 3, 5 with signs +1, -1; rotated by 0.2
+        # rad, at the detector's Q8 unit amplitude.
+        phase = 0.2
+        amp = 256
+        p_plus = pack_complex_word(
+            int(amp * np.cos(phase)), int(amp * np.sin(phase))
+        )
+        p_minus = pack_complex_word(
+            int(-amp * np.cos(phase)), int(-amp * np.sin(phase))
+        )
+        mem = [(grid + 12, p_plus, 4), (grid + 20, p_minus, 4)]
+        out_reg = PhysReg(45)
+
+        def build(vb):
+            vliw_kernels.emit_tracking(
+                vb, grid, [12, 20], [1, -1], out_reg, scratch_addr=1000
+            )
+
+        core = self.run_section(arch, build, mem)
+        word = core.cdrf.peek(45)
+        re = to_signed(word & 0xFFFF, 16)
+        im = to_signed((word >> 16) & 0xFFFF, 16)
+        got_phase = np.arctan2(-im, re)  # stored conjugated
+        assert got_phase == pytest.approx(phase, abs=0.01)
+        # Both packed halves equal.
+        assert (word >> 32) == (word & 0xFFFFFFFF)

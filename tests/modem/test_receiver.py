@@ -1,0 +1,107 @@
+"""End-to-end modem tests: the full pipeline on the simulated processor.
+
+The reference packet run takes a couple of minutes of simulation, so it
+is produced once per test session and shared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import run_reference_modem
+from repro.modem.analysis import realtime_analysis
+from repro.modem.profile import format_table2, table2_rows
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None)
+
+
+class TestFunctional:
+    def test_packet_decodes_error_free(self, run):
+        assert run.ber == 0.0
+
+    def test_timing_recovered(self, run):
+        # Packet injected 32 samples in: LTF1 at 32 + 160 + 32 = 224.
+        assert run.output.ltf1_start == 224
+
+    def test_cfo_estimated(self, run):
+        assert run.output.cfo_hz == pytest.approx(run.cfo_true_hz, rel=0.02)
+
+    def test_detection_within_plateau(self, run):
+        assert 16 <= run.output.detect_pos <= 48
+
+
+class TestProfiles:
+    def test_all_table2_rows_present(self, run):
+        names_pre = [r.name for r in run.output.preamble_regions]
+        for kernel in [
+            "acorr",
+            "fshift",
+            "xcorr",
+            "fft",
+            "remove zero carriers",
+            "freq offset estimation",
+            "freq offset compensation",
+            "sample ordering",
+            "SDM processing",
+            "sample reordering",
+            "equalize coeff calc",
+            "non-kernel code",
+        ]:
+            assert kernel in names_pre, kernel
+        names_data = [r.name for r in run.output.data_regions]
+        for kernel in [
+            "fshift",
+            "fft",
+            "data shuffle",
+            "tracking",
+            "comp",
+            "demod QAM64",
+            "SDM processing",
+        ]:
+            assert kernel in names_data, kernel
+
+    def test_mode_classification_matches_paper(self, run):
+        by_name = {r.name: r for r in run.output.preamble_regions}
+        assert by_name["remove zero carriers"].profile.mode == "VLIW"
+        assert by_name["sample ordering"].profile.mode == "VLIW"
+        assert by_name["equalize coeff calc"].profile.mode == "CGA"
+        assert by_name["fft"].profile.mode == "CGA"
+        data = {r.name: r for r in run.output.data_regions}
+        assert data["tracking"].profile.mode == "VLIW"
+        assert data["demod QAM64"].profile.mode == "CGA"
+
+    def test_cga_ipc_far_exceeds_vliw_ipc(self, run):
+        stats = run.output.stats
+        cga_ipc = stats.cga_ops / stats.cga_cycles
+        vliw_ipc = stats.vliw_ops / stats.vliw_cycles
+        assert cga_ipc > 4.0  # paper: 10.31 average over CGA kernels
+        assert vliw_ipc < 3.0  # paper: 1.94
+        assert cga_ipc > 3 * vliw_ipc
+
+    def test_cga_mode_dominates_runtime(self, run):
+        # Paper: 72% of preamble / 60% of data time in CGA mode.
+        assert run.output.stats.cga_fraction > 0.5
+
+    def test_high_ipc_kernels(self, run):
+        data = {r.name: r for r in run.output.data_regions}
+        assert data["SDM processing"].profile.ipc > 6
+        assert data["comp"].profile.ipc > 6
+
+    def test_table2_render(self, run):
+        text = format_table2(table2_rows(run.output))
+        assert "equalize coeff calc" in text
+        assert "paper" in text
+
+
+class TestRealtime:
+    def test_analysis_report(self, run):
+        report = realtime_analysis(run.output)
+        assert report.phy_rate_mbps == pytest.approx(156.0)
+        assert report.meets_100mbps
+        # Preamble processing exceeds the preamble airtime (pipeline
+        # latency), as in the paper (15.3 us vs 8 us).
+        assert report.preamble_us > report.preamble_elapsed_us
+        text = report.summary()
+        assert "100 Mbps+" in text or "Mbps" in text

@@ -1,0 +1,146 @@
+"""Fixed-point helpers and FFT tests against NumPy golden."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.semantics import q15_mul
+from repro.phy.fixed import (
+    cmul_q15,
+    complex_from_q15,
+    from_q15,
+    pack_complex_array,
+    pack_complex_pair,
+    q15,
+    q15_mul_array,
+    quantize_complex,
+    unpack_complex_array,
+    unpack_complex_pair,
+)
+from repro.phy.fft import bit_reverse_indices, fft_fixed, fft_float, ifft_fixed
+
+i16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+def test_q15_roundtrip():
+    values = np.array([0.0, 0.5, -0.5, 0.999, -1.0])
+    assert np.allclose(from_q15(q15(values)), values, atol=1 / (1 << 15))
+
+
+def test_q15_saturates():
+    assert q15(2.0) == (1 << 15) - 1
+    assert q15(-2.0) == -(1 << 15)
+
+
+@given(i16, i16)
+def test_q15_mul_array_matches_isa(a, b):
+    arr = q15_mul_array(np.array([a], dtype=np.int16), np.array([b], dtype=np.int16))
+    assert int(arr[0]) == q15_mul(a, b)
+
+
+@given(i16, i16, i16, i16)
+def test_cmul_q15_matches_complex_product(ar, ai, br, bi):
+    re, im = cmul_q15(
+        np.int16(ar), np.int16(ai), np.int16(br), np.int16(bi)
+    )
+    def sat16(v):
+        return max(-(1 << 15), min((1 << 15) - 1, v))
+
+    ref_re = sat16(q15_mul(ar, br) - q15_mul(ai, bi))
+    ref_im = sat16(q15_mul(ar, bi) + q15_mul(ai, br))
+    assert int(re) == ref_re
+    assert int(im) == ref_im
+
+
+@given(st.lists(st.tuples(i16, i16), min_size=2, max_size=16).filter(lambda l: len(l) % 2 == 0))
+def test_pack_unpack_complex_array_roundtrip(samples):
+    re = [s[0] for s in samples]
+    im = [s[1] for s in samples]
+    words = pack_complex_array(re, im)
+    re2, im2 = unpack_complex_array(words)
+    assert list(re2) == re and list(im2) == im
+
+
+def test_pack_complex_pair_layout():
+    word = pack_complex_pair(1, 2, 3, 4)
+    assert unpack_complex_pair(word) == (1, 2, 3, 4)
+    assert word & 0xFFFF == 1  # re0 in the least-significant lane
+
+
+def test_odd_length_pack_rejected():
+    with pytest.raises(ValueError):
+        pack_complex_array([1], [2])
+
+
+def test_bit_reverse_indices_8():
+    assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+@pytest.mark.parametrize("n", [8, 16, 64])
+def test_fft_fixed_matches_float_reference(n):
+    rng = np.random.default_rng(42)
+    x = (rng.normal(size=n) + 1j * rng.normal(size=n)) * 0.2
+    re, im = quantize_complex(x)
+    out_re, out_im = fft_fixed(re, im)
+    ref = fft_float(x)
+    got = complex_from_q15(out_re, out_im)
+    # Block scaling costs ~log2(n)/2 bits; tolerance reflects that.
+    assert np.max(np.abs(got - ref)) < 0.01
+
+
+def test_fft_fixed_impulse():
+    n = 64
+    re = np.zeros(n, dtype=np.int16)
+    im = np.zeros(n, dtype=np.int16)
+    re[0] = q15(0.9)
+    out_re, out_im = fft_fixed(re, im)
+    # DFT of impulse is flat: 0.9/64 per bin.
+    expected = 0.9 / 64
+    assert np.allclose(from_q15(out_re), expected, atol=2e-3)
+    assert np.allclose(from_q15(out_im), 0, atol=2e-3)
+
+
+def test_fft_fixed_single_tone():
+    n = 64
+    k0 = 5
+    t = np.arange(n)
+    x = 0.5 * np.exp(2j * np.pi * k0 * t / n)
+    re, im = quantize_complex(x)
+    out_re, out_im = fft_fixed(re, im)
+    got = complex_from_q15(out_re, out_im)
+    assert abs(got[k0] - 0.5) < 0.01
+    others = np.delete(np.abs(got), k0)
+    assert np.max(others) < 0.01
+
+
+def test_ifft_then_fft_recovers_scaled_input():
+    n = 64
+    rng = np.random.default_rng(3)
+    x = (rng.normal(size=n) + 1j * rng.normal(size=n)) * 0.3
+    ref = fft_float(fft_float(x, inverse=True))
+    got_re, got_im = fft_fixed(*ifft_fixed(*quantize_complex(x)))
+    got = complex_from_q15(got_re, got_im)
+    # Both scale by 1/N twice: x / N^2 ... compare against float chain.
+    assert np.max(np.abs(got - ref)) < 2e-3
+
+
+def test_fft_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        fft_fixed(np.zeros(12, dtype=np.int16), np.zeros(12, dtype=np.int16))
+    with pytest.raises(ValueError):
+        fft_fixed(np.zeros(8, dtype=np.int16), np.zeros(4, dtype=np.int16))
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=0, max_value=63))
+def test_fft_linearity_on_basis(k):
+    """FFT of e_k impulse = k-th DFT column / N (within quantisation)."""
+    n = 64
+    re = np.zeros(n, dtype=np.int16)
+    im = np.zeros(n, dtype=np.int16)
+    re[k] = q15(0.5)
+    out_re, out_im = fft_fixed(re, im)
+    got = complex_from_q15(out_re, out_im)
+    ref = 0.5 * np.exp(-2j * np.pi * k * np.arange(n) / n) / n
+    assert np.max(np.abs(got - ref)) < 5e-3

@@ -1,0 +1,110 @@
+"""QAM-64 and OFDM framing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.ofdm import (
+    add_cp,
+    apply_tracking,
+    deinterleave_streams,
+    demap_carriers,
+    interleave_streams,
+    map_carriers,
+    remove_cp,
+    track_pilots,
+)
+from repro.phy.params import PARAMS_20MHZ_2X2
+from repro.phy.qam import qam64_constellation, qam64_demodulate, qam64_modulate
+
+
+class TestQam64:
+    def test_constellation_size_and_energy(self):
+        points = qam64_constellation()
+        assert len(set(np.round(points, 9))) == 64
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    @given(st.lists(st.integers(0, 1), min_size=6, max_size=120).filter(lambda b: len(b) % 6 == 0))
+    def test_mod_demod_roundtrip(self, bits):
+        bits = np.array(bits)
+        symbols = qam64_modulate(bits)
+        assert np.array_equal(qam64_demodulate(symbols), bits)
+
+    def test_gray_mapping_single_bit_neighbours(self):
+        """Adjacent I levels differ in exactly one bit (Gray property)."""
+        points = qam64_constellation()
+        # group labels by Q bits, sort by I amplitude
+        for q in range(8):
+            labels = [l for l in range(64) if (l & 7) == q]
+            labels.sort(key=lambda l: points[l].real)
+            for a, b in zip(labels, labels[1:]):
+                diff = (a >> 3) ^ (b >> 3)
+                assert bin(diff).count("1") == 1
+
+    def test_demod_robust_to_small_noise(self):
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, size=600)
+        symbols = qam64_modulate(bits)
+        noisy = symbols + 0.02 * (rng.normal(size=len(symbols)) + 1j * rng.normal(size=len(symbols)))
+        assert np.array_equal(qam64_demodulate(noisy), bits)
+
+
+class TestOfdmFraming:
+    params = PARAMS_20MHZ_2X2
+
+    def test_carrier_counts(self):
+        assert len(self.params.used_carriers) == 56
+        assert self.params.n_data_carriers == 52
+        assert len(self.params.pilot_carriers) == 4
+
+    def test_rates_match_paper_claim(self):
+        # 52 carriers x 6 bits x 2 streams / 4 us = 156 Mbps raw.
+        assert self.params.phy_rate_bps == pytest.approx(156e6)
+        # Rate 5/6 -> 130 Mbps: the "100 Mbps+" of the title.
+        assert self.params.coded_rate_bps > 100e6
+        assert self.params.symbol_duration_s == pytest.approx(4e-6)
+
+    def test_map_demap_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=52) + 1j * rng.normal(size=52)
+        grid = map_carriers(data, self.params)
+        assert np.allclose(demap_carriers(grid, self.params), data)
+
+    def test_map_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            map_carriers(np.zeros(51), self.params)
+
+    def test_dc_and_guard_are_zero(self):
+        grid = map_carriers(np.ones(52), self.params)
+        assert grid[0] == 0
+        for k in range(29, 36):
+            assert grid[k] == 0
+
+    def test_cp_roundtrip(self):
+        sym = np.arange(64, dtype=np.complex128)
+        with_cp = add_cp(sym, 16)
+        assert len(with_cp) == 80
+        assert np.allclose(with_cp[:16], sym[-16:])
+        assert np.allclose(remove_cp(with_cp, self.params), sym)
+
+    def test_remove_cp_needs_full_symbol(self):
+        with pytest.raises(ValueError):
+            remove_cp(np.zeros(40), self.params)
+
+    def test_pilot_tracking_recovers_phase(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=52) + 1j * rng.normal(size=52)
+        grid = map_carriers(data, self.params, symbol_index=3)
+        rotated = grid * np.exp(1j * 0.3)
+        phasor = track_pilots(rotated, self.params, symbol_index=3)
+        assert np.angle(phasor) == pytest.approx(0.3, abs=1e-9)
+        fixed = apply_tracking(rotated, phasor)
+        assert np.allclose(demap_carriers(fixed, self.params), data)
+
+    def test_interleave_roundtrip(self):
+        streams = np.arange(12).reshape(2, 6)
+        flat = interleave_streams(streams)
+        assert np.array_equal(deinterleave_streams(flat, 2), streams)
+        # Interleaved layout alternates streams.
+        assert list(flat[:4]) == [0, 6, 1, 7]

@@ -1,0 +1,188 @@
+"""Synchronisation, channel estimation, detection and end-to-end link tests."""
+
+import numpy as np
+import pytest
+
+from repro.phy import mimo, preamble
+from repro.phy.channel import MimoChannel, awgn
+from repro.phy.freq import cfo_compensate, fshift, fshift_q15
+from repro.phy.fixed import complex_from_q15, quantize_complex
+from repro.phy.modem_ref import receive, run_link, transmit
+from repro.phy.params import PARAMS_20MHZ_2X2
+
+
+class TestPreambleSync:
+    fs = 20e6
+
+    def test_stf_has_16_sample_periodicity(self):
+        stf = preamble.short_training_field()
+        assert len(stf) == 160
+        assert np.allclose(stf[:144], stf[16:])
+
+    def test_ltf_structure(self):
+        ltf = preamble.long_training_field()
+        assert len(ltf) == 160
+        assert np.allclose(ltf[32:96], ltf[96:])
+
+    def test_autocorrelation_peaks_on_stf(self):
+        stf = preamble.short_training_field()
+        sig = np.concatenate([np.zeros(50), stf])
+        corr = preamble.autocorrelate(sig, lag=16, window=32)
+        peak = np.argmax(np.abs(corr))
+        # Plateau begins once the window is inside the STF.
+        assert 45 <= peak <= 200
+
+    def test_detect_packet_finds_onset(self):
+        rng = np.random.default_rng(2)
+        stf = preamble.short_training_field()
+        noise = 0.01 * (rng.normal(size=100) + 1j * rng.normal(size=100))
+        sig = np.concatenate([noise, stf, np.zeros(50)])
+        idx = preamble.detect_packet(sig)
+        assert 70 <= idx <= 120
+
+    def test_detect_packet_rejects_noise(self):
+        rng = np.random.default_rng(3)
+        noise = 0.1 * (rng.normal(size=400) + 1j * rng.normal(size=400))
+        assert preamble.detect_packet(noise) == -1
+
+    def test_cfo_estimation_accuracy(self):
+        stf = preamble.short_training_field()
+        for cfo in (-100e3, 40e3, 200e3):
+            shifted = fshift(stf, cfo, self.fs)
+            est = preamble.estimate_cfo(shifted, lag=16, window=96, sample_rate_hz=self.fs)
+            assert est == pytest.approx(cfo, rel=0.02)
+
+    def test_cfo_lag16_range_limit(self):
+        """Lag-16 autocorrelation is unambiguous up to fs/(2*16) = 625 kHz."""
+        stf = preamble.short_training_field()
+        shifted = fshift(stf, 600e3, self.fs)
+        est = preamble.estimate_cfo(shifted, lag=16, window=96, sample_rate_hz=self.fs)
+        assert est == pytest.approx(600e3, rel=0.05)
+
+    def test_timing_from_xcorr(self):
+        sym = preamble.ltf_symbol()
+        sig = np.concatenate([np.zeros(37), sym, sym])
+        t = preamble.timing_from_xcorr(sig, sym)
+        assert t == 37
+
+
+class TestFrequencyShift:
+    fs = 20e6
+
+    def test_fshift_then_inverse_is_identity(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        y = cfo_compensate(fshift(x, 123e3, self.fs), 123e3, self.fs)
+        assert np.allclose(y, x)
+
+    def test_fshift_q15_tracks_float_model(self):
+        rng = np.random.default_rng(5)
+        x = 0.3 * (rng.normal(size=128) + 1j * rng.normal(size=128))
+        re, im = quantize_complex(x)
+        out_re, out_im = fshift_q15(re, im, 150e3, self.fs)
+        ref = fshift(x, 150e3, self.fs)
+        got = complex_from_q15(out_re, out_im)
+        assert np.max(np.abs(got - ref)) < 0.02
+
+
+class TestChannelAndMimo:
+    params = PARAMS_20MHZ_2X2
+
+    def test_awgn_snr(self):
+        rng = np.random.default_rng(6)
+        x = np.exp(1j * rng.normal(size=100000))
+        y = awgn(x, 20.0, rng)
+        noise = y - x
+        measured = 10 * np.log10(np.mean(np.abs(x) ** 2) / np.mean(np.abs(noise) ** 2))
+        assert measured == pytest.approx(20.0, abs=0.3)
+
+    def test_identity_channel_passthrough(self):
+        chan = MimoChannel.identity(2)
+        tx = np.vstack([np.arange(10), np.arange(10) * 1j])
+        rx = chan.apply(tx, snr_db=None)
+        assert np.allclose(rx, tx)
+
+    def test_multipath_channel_frequency_response(self):
+        chan = MimoChannel(seed=11)
+        h = chan.frequency_response(64)
+        assert h.shape == (64, 2, 2)
+        # Flat-average power roughly normalised by the PDP.
+        assert 0.05 < np.mean(np.abs(h) ** 2) < 20
+
+    def test_channel_estimation_exact_without_noise(self):
+        chan = MimoChannel(seed=8)
+        h_true = chan.frequency_response(64)
+        ltf_ref = np.zeros(64, dtype=np.complex128)
+        rng = np.random.default_rng(9)
+        ltf_ref[list(self.params.used_carriers)] = rng.choice([-1.0, 1.0], size=56)
+        # Build the two orthogonal training symbols in frequency domain.
+        ltf_rx = np.zeros((2, 2, 64), dtype=np.complex128)
+        for k in self.params.used_carriers:
+            hk = h_true[k]
+            x1 = np.array([ltf_ref[k], ltf_ref[k]])  # symbol 1: +L, +L
+            x2 = np.array([ltf_ref[k], -ltf_ref[k]])  # symbol 2: +L, -L
+            ltf_rx[0, :, k] = hk @ x1
+            ltf_rx[1, :, k] = hk @ x2
+        h_est = mimo.estimate_channel(ltf_rx, ltf_ref, self.params.used_carriers)
+        for k in self.params.used_carriers:
+            assert np.allclose(h_est[k], h_true[k], atol=1e-12)
+
+    def test_zf_equalizer_inverts_channel(self):
+        chan = MimoChannel(seed=10)
+        h = chan.frequency_response(64)
+        w = mimo.equalizer_coefficients(h, self.params.used_carriers)
+        for k in self.params.used_carriers:
+            prod = w[k] @ h[k]
+            assert np.allclose(prod, np.eye(2), atol=1e-9)
+
+    def test_sdm_detect_recovers_streams(self):
+        chan = MimoChannel(seed=12)
+        h = chan.frequency_response(64)
+        w = mimo.equalizer_coefficients(h, self.params.used_carriers)
+        rng = np.random.default_rng(13)
+        x = np.zeros((2, 64), dtype=np.complex128)
+        x[:, list(self.params.used_carriers)] = rng.normal(
+            size=(2, 56)
+        ) + 1j * rng.normal(size=(2, 56))
+        y = np.zeros((2, 64), dtype=np.complex128)
+        for k in self.params.used_carriers:
+            y[:, k] = h[k] @ x[:, k]
+        x_hat = mimo.sdm_detect(y, w, self.params.used_carriers)
+        assert np.allclose(
+            x_hat[:, list(self.params.used_carriers)],
+            x[:, list(self.params.used_carriers)],
+            atol=1e-9,
+        )
+
+
+class TestEndToEndLink:
+    def test_ideal_channel_zero_ber(self):
+        tx, result, ber = run_link(n_symbols=2, snr_db=None, cfo_hz=0.0)
+        assert ber == 0.0
+        assert result.evm < 0.05
+
+    def test_high_snr_multipath_zero_ber(self):
+        chan = MimoChannel(seed=21)
+        tx, result, ber = run_link(n_symbols=3, snr_db=45.0, channel=chan)
+        assert ber == 0.0
+
+    def test_cfo_corrected_link(self):
+        chan = MimoChannel.identity(2)
+        tx, result, ber = run_link(n_symbols=2, snr_db=45.0, cfo_hz=80e3, channel=chan)
+        assert result.cfo_hz == pytest.approx(80e3, rel=0.05)
+        assert ber == 0.0
+
+    def test_low_snr_causes_errors(self):
+        chan = MimoChannel(seed=22)
+        _, _, ber_low = run_link(n_symbols=2, snr_db=5.0, channel=chan)
+        _, _, ber_high = run_link(n_symbols=2, snr_db=45.0, channel=chan)
+        assert ber_low > ber_high
+
+    def test_transmit_shapes(self):
+        params = PARAMS_20MHZ_2X2
+        bits = np.zeros(params.bits_per_symbol * 2, dtype=np.int64)
+        pkt = transmit(bits, params)
+        assert pkt.waveform.shape[0] == 2
+        # preamble (STF 160 + LTF 160 + 2 HT-LTF 160) + 2 symbols x 80.
+        assert pkt.waveform.shape[1] == 480 + 160
+        assert pkt.n_symbols == 2

@@ -1,0 +1,142 @@
+"""Area and power model tests against the paper's published anchors."""
+
+import pytest
+
+from repro.arch import paper_core
+from repro.power import (
+    LEAKAGE_65C_W,
+    LEAKAGE_TYPICAL_W,
+    PAPER_AREA_MM2,
+    estimate_area,
+    default_model,
+    calibrate_from_reference,
+)
+from repro.power.model import (
+    FIG6A_SHARES,
+    FIG6B_SHARES,
+    PAPER_CGA_ACTIVE_W,
+    PAPER_VLIW_ACTIVE_W,
+)
+from repro.sim.stats import ActivityStats
+
+
+class TestAreaModel:
+    def test_paper_core_total_matches(self):
+        report = estimate_area(paper_core())
+        assert report.total_mm2 == pytest.approx(PAPER_AREA_MM2, rel=0.01)
+
+    def test_fig5_breakdown_shares(self):
+        report = estimate_area(paper_core())
+        f = report.fractions
+        assert f["memories"] == pytest.approx(0.50, abs=0.01)
+        assert f["CGA FUs"] == pytest.approx(0.29, abs=0.01)
+        assert f["VLIW FUs"] == pytest.approx(0.08, abs=0.01)
+        assert f["global RF"] == pytest.approx(0.05, abs=0.01)
+        assert f["distributed RF"] == pytest.approx(0.03, abs=0.01)
+
+    def test_memories_dominate(self):
+        report = estimate_area(paper_core())
+        assert max(report.fractions, key=report.fractions.get) == "memories"
+
+    def test_area_scales_with_array_size(self):
+        import dataclasses
+
+        core = paper_core()
+        bigger_l1 = dataclasses.replace(
+            core,
+            l1=dataclasses.replace(core.l1, words=2 * core.l1.words),
+        )
+        assert estimate_area(bigger_l1).total_mm2 > estimate_area(core).total_mm2
+
+    def test_summary_text(self):
+        text = estimate_area(paper_core()).summary()
+        assert "mm^2" in text and "memories" in text
+
+
+def _reference_stats():
+    vliw = ActivityStats(vliw_cycles=1000, vliw_ops=1900)
+    vliw.cdrf_reads, vliw.cdrf_writes = 2500, 1200
+    vliw.l1_reads, vliw.l1_writes = 300, 300
+    vliw.icache_hits = 1000
+    cga = ActivityStats(cga_cycles=1000, cga_ops=10300)
+    cga.cdrf_reads, cga.cdrf_writes = 400, 150
+    cga.lrf_reads, cga.lrf_writes = 300, 120
+    cga.l1_reads, cga.l1_writes = 1200, 800
+    cga.config_words = 17000
+    cga.interconnect_transfers = 5000
+    return vliw, cga
+
+
+class TestPowerModel:
+    def test_calibration_reproduces_vliw_power(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        report = model.report(vliw)
+        assert report.active_w == pytest.approx(PAPER_VLIW_ACTIVE_W, rel=0.10)
+
+    def test_calibration_reproduces_cga_power(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        report = model.report(cga)
+        assert report.active_w == pytest.approx(PAPER_CGA_ACTIVE_W, rel=0.10)
+
+    def test_cga_mode_burns_more_than_vliw(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        assert model.report(cga).active_w > 2 * model.report(vliw).active_w
+
+    def test_interconnect_dominates_cga_breakdown(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        shares = model.report(cga).shares()
+        assert max(shares, key=shares.get) == "interconnect"
+        assert shares["interconnect"] == pytest.approx(
+            FIG6B_SHARES["interconnect"], abs=0.06
+        )
+
+    def test_vliw_breakdown_shape(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        shares = model.report(vliw).shares()
+        # Fig 6a ordering: interconnect > VLIW FUs > global RF > L1 > I$.
+        assert shares["interconnect"] > shares["VLIW FUs"] > 0
+        assert shares["global RF"] > shares["L1"] > 0
+        assert shares["I$"] > 0
+
+    def test_leakage_corners(self):
+        assert LEAKAGE_65C_W == pytest.approx(2 * LEAKAGE_TYPICAL_W)
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        report = model.report(vliw, leakage_w=LEAKAGE_65C_W)
+        assert report.total_w == pytest.approx(report.active_w + 0.025)
+
+    def test_mixed_workload_average_between_modes(self):
+        """A 60/40 CGA/VLIW mix must land between the two mode powers."""
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        mixed = ActivityStats()
+        mixed.merge(vliw)
+        mixed.merge(cga)
+        avg = model.report(mixed).active_w
+        assert PAPER_VLIW_ACTIVE_W < avg < PAPER_CGA_ACTIVE_W
+
+    def test_default_model_usable(self):
+        model = default_model()
+        vliw, _ = _reference_stats()
+        assert model.report(vliw).active_w > 0
+
+    def test_energy_scales_with_activity(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        double = ActivityStats()
+        double.merge(cga)
+        double.merge(cga)
+        assert sum(model.region_energy(double).values()) == pytest.approx(
+            2 * sum(model.region_energy(cga).values())
+        )
+
+    def test_report_summary_text(self):
+        vliw, cga = _reference_stats()
+        model = calibrate_from_reference(vliw, cga)
+        text = model.report(cga).summary()
+        assert "mW" in text and "interconnect" in text

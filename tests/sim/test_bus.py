@@ -1,0 +1,81 @@
+"""AMBA bus and DMA model tests."""
+
+from repro.arch.resources import MemorySpec
+from repro.sim.bus import AmbaBus, DmaEngine, SpecialRegisters
+from repro.sim.memory import Scratchpad
+
+
+def make_bus():
+    pad = Scratchpad(MemorySpec("l1", words=1024, width=32, banks=4))
+    return AmbaBus(pad), pad
+
+
+def test_host_write_then_read():
+    bus, pad = make_bus()
+    bus.write_word(0x40, 0xCAFEBABE)
+    assert pad.read_word(0x40) == 0xCAFEBABE
+    assert bus.read_word(0x40) == 0xCAFEBABE
+    assert bus.stats.bus_writes == 1
+    assert bus.stats.bus_reads == 1
+
+
+def test_bus_beats_cost_two_core_cycles():
+    bus, _ = make_bus()
+    start = bus._cycle
+    bus.write_word(0, 1)
+    bus.write_word(4, 2)
+    assert bus._cycle == start + 2 * AmbaBus.beat_cycles
+
+
+def test_bus_traffic_contends_with_core():
+    """Host beats go through the same bank arbiter as core accesses."""
+    bus, pad = make_bus()
+    bus.write_word(0, 1)  # bank 0 at bus cycle 0
+    _, delay = pad.timed_read(0, 16, 4)  # core hits bank 0 at cycle 0
+    assert delay == 1
+
+
+def test_dma_block_write():
+    bus, pad = make_bus()
+    dma = DmaEngine(bus)
+    cycles = dma.write_block(0x100, [10, 20, 30])
+    assert cycles == 3 * AmbaBus.beat_cycles
+    assert [pad.read_word(0x100 + 4 * i) for i in range(3)] == [10, 20, 30]
+    assert bus.stats.dma_words == 3
+
+
+def test_dma_configuration_accounting():
+    bus, _ = make_bus()
+    dma = DmaEngine(bus)
+    cycles = dma.load_configuration(n_contexts=4, words_per_context=17)
+    assert cycles == 4 * 17 * AmbaBus.beat_cycles
+    assert bus.stats.dma_words == 68
+
+
+def test_control_interface_flags():
+    bus, _ = make_bus()
+    assert not bus.special.stalled
+    bus.assert_stall()
+    assert bus.special.stalled
+    bus.deassert_stall()
+    assert not bus.special.stalled
+    bus.assert_resume()
+    assert bus.special.resume_pending
+
+
+def test_core_resume_after_halt():
+    from repro.arch import paper_core
+    from repro.isa import assemble
+    from repro.sim import Core, Program, VliwBundle
+
+    insts = assemble("add r1, r0, #1\nhalt\nadd r2, r0, #2\nhalt")
+    bundles = [VliwBundle((i, None, None)) for i in insts]
+    core = Core(paper_core(), Program(bundles=bundles))
+    core.run()
+    assert core.halted
+    assert core.cdrf.peek(1) == 1
+    assert core.cdrf.peek(2) == 0
+    core.resume()
+    assert not core.halted
+    core.run()
+    assert core.cdrf.peek(2) == 2

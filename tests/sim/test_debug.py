@@ -1,0 +1,46 @@
+"""Tests of the debug listings (program/kernel renderers)."""
+
+from repro.arch import paper_core
+from repro.compiler import KernelBuilder
+from repro.compiler.linker import ProgramLinker
+from repro.isa import Opcode
+from repro.sim.debug import format_kernel, format_program, schedule_occupancy
+
+
+def compiled_program():
+    kb = KernelBuilder("acc")
+    base = kb.live_in("base")
+    i = kb.induction(0, 4)
+    x = kb.load(Opcode.LD_I, kb.add(base, i))
+    kb.accumulate(Opcode.ADD, x, init=0, live_out="sum")
+    linker = ProgramLinker(paper_core())
+    linker.call_kernel(kb.finish(), live_ins={"base": 0}, trip_count=4)
+    return linker.link()
+
+
+def test_format_kernel_lists_contexts():
+    program = compiled_program()
+    text = format_kernel(program.kernels[0])
+    assert "II=" in text
+    assert "cycle 0:" in text
+    assert "ld_i" in text
+    assert "phi(" in text  # the induction/accumulator recurrences
+    assert "->r" in text  # the live-out central write
+
+
+def test_format_program_lists_bundles_and_kernels():
+    program = compiled_program()
+    text = format_program(program)
+    assert "cga" in text
+    assert "halt" in text
+    assert "[kernel 0]" in text
+
+
+def test_occupancy_grid_shape():
+    program = compiled_program()
+    kernel = program.kernels[0]
+    grid = schedule_occupancy(kernel)
+    assert len(grid) == kernel.ii
+    assert all(len(row) == 16 for row in grid)
+    used = sum(1 for row in grid for cell in row if cell)
+    assert used == kernel.ops_per_iteration

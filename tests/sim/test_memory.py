@@ -1,0 +1,130 @@
+"""Scratchpad tests: functional storage, interleaving, contention timing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.resources import MemorySpec
+from repro.sim.memory import MemoryError_, Scratchpad
+
+
+def make_pad(words=1024, banks=4):
+    return Scratchpad(MemorySpec("l1", words=words, width=32, banks=banks))
+
+
+def test_functional_word_roundtrip():
+    pad = make_pad()
+    pad.write_word(0x40, 0xDEADBEEF, 4)
+    assert pad.read_word(0x40, 4) == 0xDEADBEEF
+
+
+def test_little_endian_layout():
+    pad = make_pad()
+    pad.write_word(0, 0x11223344, 4)
+    assert pad.load_bytes(0, 4) == bytes([0x44, 0x33, 0x22, 0x11])
+
+
+def test_signed_read():
+    pad = make_pad()
+    pad.write_word(8, 0xFFFF, 2)
+    assert pad.read_word(8, 2, signed=True) == -1
+    assert pad.read_word(8, 2, signed=False) == 0xFFFF
+
+
+def test_word_interleaved_banking():
+    pad = make_pad(banks=4)
+    assert [pad.bank_of(4 * i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    # Bytes within a word map to the same bank.
+    assert pad.bank_of(5) == pad.bank_of(4)
+
+
+def test_out_of_range_rejected():
+    pad = make_pad(words=16, banks=1)  # 64 bytes
+    with pytest.raises(MemoryError_):
+        pad.read_word(64, 4)
+    with pytest.raises(MemoryError_):
+        pad.timed_read(0, 62, 4)
+
+
+def test_no_conflict_different_banks_same_cycle():
+    pad = make_pad()
+    _, d0 = pad.timed_read(0, 0, 4)
+    _, d1 = pad.timed_read(0, 4, 4)
+    assert d0 == 0 and d1 == 0
+    assert pad.stats.l1_bank_conflicts == 0
+
+
+def test_same_bank_same_cycle_queues():
+    pad = make_pad()
+    _, d0 = pad.timed_read(0, 0, 4)
+    _, d1 = pad.timed_read(0, 16, 4)  # 16 bytes = 4 words -> same bank 0
+    assert d0 == 0
+    assert d1 == 1
+    assert pad.stats.l1_bank_conflicts == 1
+    assert pad.stats.l1_conflict_stall_cycles == 1
+
+
+def test_three_way_conflict_queues_progressively():
+    pad = make_pad()
+    delays = [pad.timed_read(0, 16 * i, 4)[1] for i in range(3)]
+    assert delays == [0, 1, 2]
+
+
+def test_bank_frees_up_next_cycle():
+    pad = make_pad()
+    pad.timed_read(0, 0, 4)
+    _, d = pad.timed_read(1, 16, 4)
+    assert d == 0
+
+
+def test_64bit_access_claims_two_adjacent_banks():
+    pad = make_pad()
+    _, d = pad.timed_read(0, 0, 8)
+    assert d == 0
+    # Bank 0 and bank 1 are now busy at cycle 0.
+    _, d0 = pad.timed_read(0, 16, 4)  # bank 0 again
+    assert d0 == 1
+    assert pad.stats.l1_reads == 3  # 2 for the 64-bit + 1
+
+
+def test_timed_write_then_read_value():
+    pad = make_pad()
+    pad.timed_write(0, 100, 0x1234, 4)
+    value, _ = pad.timed_read(1, 100, 4)
+    assert value == 0x1234
+
+
+def test_reset_timing_keeps_contents():
+    pad = make_pad()
+    pad.timed_write(0, 0, 7, 4)
+    pad.reset_timing()
+    assert pad.read_word(0) == 7
+    _, d = pad.timed_read(0, 16, 4)
+    assert d == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),  # word index
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_read_after_write_property(writes):
+    """The last write to each word wins, regardless of interleaving."""
+    pad = make_pad()
+    expected = {}
+    for i, (word, value) in enumerate(writes):
+        pad.timed_write(i, word * 4, value, 4)
+        expected[word] = value
+    for word, value in expected.items():
+        assert pad.read_word(word * 4) == value
+
+
+@given(st.integers(min_value=0, max_value=1020))
+def test_bank_of_is_word_interleaved(addr):
+    pad = make_pad()
+    assert pad.bank_of(addr) == (addr // 4) % 4

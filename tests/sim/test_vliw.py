@@ -1,0 +1,223 @@
+"""VLIW-mode execution tests: semantics, interlocks, branches, predication."""
+
+import pytest
+
+from repro.arch import paper_core
+from repro.isa import Imm, Instruction, Opcode, PredReg, Reg, assemble
+from repro.sim import Core, Program, VliwBundle
+
+
+def bundles_from_asm(source, width=3):
+    """One instruction per bundle (slot 0), NOP elsewhere."""
+    insts = assemble(source)
+    return [
+        VliwBundle(tuple([inst] + [None] * (width - 1))) for inst in insts
+    ]
+
+
+def run_program(source, pokes=(), mem=(), warm_icache=False, **kwargs):
+    import dataclasses
+
+    arch = paper_core()
+    if warm_icache:
+        arch = dataclasses.replace(arch, icache_miss_penalty=0)
+    core = Core(arch, Program(bundles=bundles_from_asm(source)))
+    for reg, value in pokes:
+        core.cdrf.poke(reg, value)
+    for addr, value, size in mem:
+        core.scratchpad.write_word(addr, value, size)
+    core.run(**kwargs)
+    return core
+
+
+def test_simple_arith_chain():
+    core = run_program(
+        """
+        add r1, r0, #5
+        add r2, r1, #7
+        mul r3, r1, r2
+        halt
+        """
+    )
+    assert core.cdrf.peek(1) == 5
+    assert core.cdrf.peek(2) == 12
+    assert core.cdrf.peek(3) == 60
+
+
+def test_wide_bundle_two_phase_read():
+    """Slots in the same bundle read pre-bundle register values."""
+    swap = VliwBundle(
+        (
+            Instruction(Opcode.ADD, dst=Reg(1), srcs=(Reg(2), Imm(0))),
+            Instruction(Opcode.ADD, dst=Reg(2), srcs=(Reg(1), Imm(0))),
+            None,
+        )
+    )
+    halt = VliwBundle((Instruction(Opcode.HALT), None, None))
+    core = Core(paper_core(), Program(bundles=[swap, halt]))
+    core.cdrf.poke(1, 10)
+    core.cdrf.poke(2, 20)
+    core.run()
+    assert core.cdrf.peek(1) == 20
+    assert core.cdrf.peek(2) == 10
+
+
+def test_raw_interlock_stalls_for_mul_latency():
+    # mul has latency 2: the dependent add must wait one extra cycle.
+    # (warm I$ so cold-miss stalls do not hide the interlock)
+    dependent = run_program("mul r1, r0, r0\nadd r2, r1, #1\nhalt", warm_icache=True)
+    independent = run_program("mul r1, r0, r0\nadd r2, r0, #1\nhalt", warm_icache=True)
+    assert dependent.stats.stall_cycles == independent.stats.stall_cycles + 1
+
+
+def test_load_latency_and_value():
+    core = run_program(
+        """
+        add r1, r0, #64
+        ld_i r2, r1, #1
+        add r3, r2, #1
+        halt
+        """,
+        mem=[(68, 1234, 4)],
+    )
+    assert core.cdrf.peek(2) == 1234
+    assert core.cdrf.peek(3) == 1235
+    # The dependent add waited for the 5-cycle load.
+    assert core.stats.stall_cycles >= 4
+
+
+def test_halfword_load_sign_extension():
+    core = run_program(
+        """
+        ld_c2 r1, r0, #0
+        ld_uc2 r2, r0, #0
+        halt
+        """,
+        mem=[(0, 0x8000, 2)],
+    )
+    assert core.cdrf.peek(1) == 0xFFFF8000
+    assert core.cdrf.peek(2) == 0x8000
+
+
+def test_store_then_load():
+    core = run_program(
+        """
+        add r1, r0, #99
+        st_i r0, #3, r1
+        ld_i r2, r0, #3
+        halt
+        """
+    )
+    assert core.scratchpad.read_word(12) == 99
+    assert core.cdrf.peek(2) == 99
+
+
+def test_store_byte_and_halfword():
+    core = run_program(
+        """
+        add r1, r0, #0x1234
+        st_c2 r0, #1, r1
+        st_c r0, #7, r1
+        halt
+        """
+    )
+    assert core.scratchpad.read_word(2, 2) == 0x1234
+    assert core.scratchpad.read_word(7, 1) == 0x34
+
+
+def test_backward_branch_loop():
+    # r1 counts 5 down to 0; r2 accumulates.
+    core = run_program(
+        """
+        add r1, r0, #5
+        add r2, r2, #10
+        sub r1, r1, #1
+        pred_gt p1, r1, r0
+        (p1) br #-4
+        halt
+        """
+    )
+    assert core.cdrf.peek(2) == 50
+    assert core.cdrf.peek(1) == 0
+
+
+def test_branch_penalty_counted():
+    taken = run_program("add r1, r0, #1\nbr #0\nhalt")
+    not_taken = run_program("add r1, r0, #1\nadd r2, r0, #1\nhalt")
+    # A taken br costs latency-1 = 2 dead cycles.
+    assert taken.stats.stall_cycles >= not_taken.stats.stall_cycles + 2
+
+
+def test_jmp_absolute():
+    core = run_program(
+        """
+        jmp #3
+        add r1, r0, #111
+        halt
+        add r2, r0, #222
+        halt
+        """
+    )
+    assert core.cdrf.peek(1) == 0
+    assert core.cdrf.peek(2) == 222
+
+
+def test_jmpl_writes_link_register():
+    core = run_program(
+        """
+        jmpl r9, #2
+        halt
+        add r1, r9, #0
+        halt
+        """
+    )
+    # Link register holds the bundle after the jump (1).
+    assert core.cdrf.peek(1) == 1
+
+
+def test_predicated_squash_has_no_effect():
+    core = run_program(
+        """
+        pred_clear p1
+        (p1) add r1, r0, #5
+        (!p1) add r2, r0, #7
+        halt
+        """
+    )
+    assert core.cdrf.peek(1) == 0
+    assert core.cdrf.peek(2) == 7
+    assert core.stats.squashed_ops == 1
+
+
+def test_halt_stops_and_counts_ops():
+    core = run_program("add r1, r0, #1\nhalt")
+    assert core.halted
+    assert core.stats.vliw_ops == 2  # add + halt
+    assert core.stats.cga_cycles == 0
+
+
+def test_icache_cold_misses_counted():
+    core = run_program("add r1, r0, #1\nhalt")
+    assert core.stats.icache_misses >= 1
+
+
+def test_ipc_below_width():
+    core = run_program("add r1, r0, #1\nadd r2, r1, #1\nhalt")
+    assert 0 < core.stats.ipc <= 3
+
+
+def test_runaway_protection():
+    from repro.sim import SimulationError
+
+    with pytest.raises(SimulationError):
+        run_program("br #-1\nhalt", max_cycles=100)
+
+
+def test_simd_in_vliw_slot():
+    core = run_program("c4add r3, r1, r2\nhalt", pokes=[(1, 0x0001_0002_0003_0004), (2, 0x0001_0001_0001_0001)])
+    assert core.cdrf.peek(3) == 0x0002_0003_0004_0005
+
+
+def test_div_in_vliw():
+    core = run_program("add r1, r0, #100\nadd r2, r0, #7\ndiv r3, r1, r2\nhalt")
+    assert core.cdrf.peek(3) == 14

@@ -23,7 +23,7 @@ def _schedule(arch, build, live_ins):
     )
 
 
-def test_interconnect_ablation(benchmark, capsys):
+def test_interconnect_ablation(benchmark, capsys, bench_report):
     variants = {
         "mesh": paper_core(name="abl-mesh", interconnect=mesh_topology(4, 4)),
         "mesh+ (paper)": paper_core(name="abl-mesh+"),
@@ -65,4 +65,11 @@ def test_interconnect_ablation(benchmark, capsys):
     assert (
         estimate_area(variants["all-to-all"]).total_mm2
         > estimate_area(variants["mesh+ (paper)"]).total_mm2
+    )
+    bench_report(
+        "ablation_interconnect",
+        extra={
+            "%s/%s" % (vname, kname): {"mii": r.mii, "ii": r.ii, "moves": r.n_moves}
+            for (vname, kname), r in results.items()
+        },
     )

@@ -12,7 +12,7 @@ from repro.eval import fig5_report
 from repro.power import PAPER_AREA_MM2, estimate_area
 
 
-def test_fig5_area_breakdown(benchmark, capsys):
+def test_fig5_area_breakdown(benchmark, capsys, bench_report):
     report = benchmark(estimate_area, paper_core())
     with capsys.disabled():
         print("\n=== Fig 5: processor area breakdown ===")
@@ -24,6 +24,10 @@ def test_fig5_area_breakdown(benchmark, capsys):
     assert f["VLIW FUs"] == pytest.approx(0.08, abs=0.01)
     assert f["global RF"] == pytest.approx(0.05, abs=0.01)
     assert f["distributed RF"] == pytest.approx(0.03, abs=0.01)
+    bench_report(
+        "fig5_area",
+        extra={"total_mm2": round(report.total_mm2, 3), "fractions": f},
+    )
 
 
 def test_fig5_ablation_array_size(benchmark, capsys):

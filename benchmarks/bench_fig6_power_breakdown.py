@@ -14,7 +14,7 @@ from repro.eval.tables import _mode_reference_stats, calibrated_power_model
 from repro.power.model import FIG6A_SHARES, FIG6B_SHARES
 
 
-def test_fig6_power_breakdowns(benchmark, reference_run, capsys):
+def test_fig6_power_breakdowns(benchmark, reference_run, capsys, bench_report):
     model = calibrated_power_model(reference_run)
     vliw, cga = _mode_reference_stats(reference_run)
     reports = benchmark(lambda: (model.report(vliw), model.report(cga)))
@@ -40,3 +40,11 @@ def test_fig6_power_breakdowns(benchmark, reference_run, capsys):
     # Only a trace of I$ activity in CGA-dominated regions (kernel-entry
     # glue bundles), vs the real 10% share in VLIW mode.
     assert b["I$"] < 0.02 < a["I$"]
+    bench_report(
+        "fig6_power_breakdown",
+        stats=reference_run.output.stats,
+        extra={
+            "vliw_shares": {k: round(v, 4) for k, v in a.items()},
+            "cga_shares": {k: round(v, 4) for k, v in b.items()},
+        },
+    )

@@ -14,7 +14,7 @@ from repro.modem.analysis import realtime_analysis
 from repro.phy.params import PARAMS_20MHZ_2X2
 
 
-def test_headline_claims(benchmark, reference_run, capsys):
+def test_headline_claims(benchmark, reference_run, capsys, bench_report):
     report = benchmark(realtime_analysis, reference_run.output)
     with capsys.disabled():
         print("\n=== Headline: throughput / real-time (measured vs paper) ===")
@@ -34,3 +34,13 @@ def test_headline_claims(benchmark, reference_run, capsys):
     # paper's 3.8 us per merged symbol pair.
     assert report.preamble_us > report.preamble_elapsed_us
     assert report.data_pair_us < 4 * report.symbol_pair_elapsed_us
+    bench_report(
+        "headline_throughput",
+        stats=reference_run.output.stats,
+        extra={
+            "peak_gops_16bit": arch.peak_gops_16bit,
+            "preamble_us": report.preamble_us,
+            "data_pair_us": report.data_pair_us,
+            "meets_100mbps": report.meets_100mbps,
+        },
+    )

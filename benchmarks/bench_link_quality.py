@@ -16,7 +16,7 @@ from repro.phy.modem_ref import run_link
 from repro.phy.params import PARAMS_20MHZ_2X2
 
 
-def test_ber_waterfall(benchmark, capsys):
+def test_ber_waterfall(benchmark, capsys, bench_report):
     snrs = [10.0, 18.0, 26.0, 34.0, 45.0]
 
     def sweep():
@@ -49,3 +49,7 @@ def test_ber_waterfall(benchmark, capsys):
     assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(bers, bers[1:]))
     # The rate math behind the 100 Mbps+ title.
     assert PARAMS_20MHZ_2X2.coded_rate_bps > 100e6
+    bench_report(
+        "link_quality",
+        extra={"ber_by_snr_db": {"%.1f" % snr: ber for snr, ber in rows}},
+    )

@@ -11,7 +11,7 @@ from repro.isa import Opcode, execute
 from repro.isa.opcodes import GROUP_INFO, OpGroup
 
 
-def test_table1_print_and_check(benchmark, capsys):
+def test_table1_print_and_check(benchmark, capsys, bench_report):
     text = table1_text()
     with capsys.disabled():
         print("\n=== Table 1: instruction set (from the live ISA) ===")
@@ -36,3 +36,7 @@ def test_table1_print_and_check(benchmark, capsys):
         return acc
 
     benchmark(run)
+    bench_report(
+        "table1_isa",
+        extra={"n_groups": len(list(OpGroup)), "n_sampled_ops": len(ops)},
+    )

@@ -12,7 +12,7 @@ from repro.eval import table2_report
 from repro.modem.profile import table2_rows
 
 
-def test_table2_profile(benchmark, reference_run, capsys):
+def test_table2_profile(benchmark, reference_run, capsys, bench_report):
     rows = benchmark.pedantic(
         table2_rows, args=(reference_run.output,), rounds=1, iterations=1
     )
@@ -39,3 +39,13 @@ def test_table2_profile(benchmark, reference_run, capsys):
         assert by_name[key].ipc < 3, key
     # The decoded packet is error-free at the evaluated operating point.
     assert reference_run.ber == 0.0
+    bench_report(
+        "table2_profiling",
+        stats=stats,
+        extra={
+            "cga_ipc": round(cga_ipc, 3),
+            "vliw_ipc": round(vliw_ipc, 3),
+            "cga_fraction": round(stats.cga_fraction, 3),
+            "ber": reference_run.ber,
+        },
+    )

@@ -15,7 +15,7 @@ from repro.power.model import PAPER_AVERAGE_W, PAPER_CGA_ACTIVE_W, PAPER_VLIW_AC
 from repro.sim.stats import ActivityStats
 
 
-def test_table3_power(benchmark, reference_run, capsys):
+def test_table3_power(benchmark, reference_run, capsys, bench_report):
     model = calibrated_power_model(reference_run)
     vliw, cga = _mode_reference_stats(reference_run)
 
@@ -47,3 +47,12 @@ def test_table3_power(benchmark, reference_run, capsys):
     # Leakage corners are the paper's constants.
     assert LEAKAGE_TYPICAL_W == 0.0125
     assert LEAKAGE_65C_W == 0.025
+    bench_report(
+        "table3_power",
+        stats=total,
+        extra={
+            "vliw_active_w": round(vliw_w, 4),
+            "cga_active_w": round(cga_w, 4),
+            "avg_active_w": round(avg_w, 4),
+        },
+    )

@@ -3,14 +3,85 @@
 The reference modem run (the paper's profiled MIMO-OFDM execution) takes
 a couple of minutes of simulation; it is produced once per session and
 shared by every table/figure bench.
+
+``--trace-out DIR`` traces that run: DIR receives the Chrome/Perfetto
+``trace.json``, the schema-validated ``run_report.json`` and every
+bench's ``BENCH_<name>.json`` (which otherwise land in
+``benchmarks/out/``).
 """
+
+import json
+import os
 
 import pytest
 
+import reporting
 from repro.eval import run_reference_modem
+from repro.trace import (
+    Tracer,
+    build_receiver_report,
+    save_run_report,
+    validate_json,
+    write_chrome_trace,
+)
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="trace the reference modem run and write trace.json, "
+        "run_report.json and BENCH_*.json files into DIR",
+    )
 
 
 @pytest.fixture(scope="session")
-def reference_run():
-    """One profiled packet through the full simulated receiver."""
-    return run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None)
+def trace_out(request):
+    """The ``--trace-out`` directory, or ``None`` when not tracing."""
+    return request.config.getoption("--trace-out")
+
+
+@pytest.fixture(scope="session")
+def reference_run(trace_out):
+    """One profiled packet through the full simulated receiver.
+
+    With ``--trace-out`` the run is traced and leaves ``trace.json`` +
+    ``run_report.json`` (validated against ``run_report.schema.json``)
+    in that directory at session teardown.
+    """
+    tracer = Tracer() if trace_out else None
+    run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None, tracer=tracer)
+    yield run
+    if tracer is None:
+        return
+    os.makedirs(trace_out, exist_ok=True)
+    write_chrome_trace(os.path.join(trace_out, "trace.json"), tracer)
+    report = build_receiver_report(run.output, tracer, meta={"seed": 42})
+    with open(os.path.join(_HERE, "run_report.schema.json")) as fh:
+        validate_json(report, json.load(fh))
+    save_run_report(report, os.path.join(trace_out, "run_report.json"))
+
+
+@pytest.fixture
+def bench_report(request, trace_out):
+    """Write this bench's uniform result JSON; call with (name, stats, extra).
+
+    Wall time is measured from fixture setup (i.e. the whole test body).
+    Reports go to ``--trace-out`` when given, else ``benchmarks/out/``.
+    """
+    clock = reporting.BenchClock()
+
+    def write(name, stats=None, extra=None):
+        return reporting.write_bench_report(
+            name,
+            out_dir=trace_out,
+            wall_s=clock.elapsed(),
+            stats=stats,
+            extra=extra,
+        )
+
+    return write

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI smoke check: trace a small kernel run and validate its run report.
+
+Compiles and simulates a short FIR kernel (seconds, not the minutes the
+full modem takes), with tracing on, builds the JSON run report, and
+validates it against ``benchmarks/run_report.schema.json`` plus the
+cross-cutting invariant the report must keep: the per-cause stall
+counts sum exactly to the aggregate ``stall_cycles``.
+
+Exit status 0 on success; writes ``trace.json`` / ``run_report.json``
+into ``--out DIR`` (default ``benchmarks/out/smoke``).
+
+Run:  PYTHONPATH=src python benchmarks/smoke_run_report.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+
+from repro.arch import paper_core
+from repro.compiler import KernelBuilder
+from repro.compiler.dfg import Const
+from repro.compiler.linker import ProgramLinker
+from repro.isa import Opcode
+from repro.sim import Core
+from repro.trace import (
+    Tracer,
+    build_run_report,
+    render_report,
+    save_run_report,
+    schema_errors,
+    set_tracer,
+    write_chrome_trace,
+)
+
+
+def build_fir_dfg(taps: int = 4):
+    """A small streaming FIR: the smoke workload."""
+    kb = KernelBuilder("fir_smoke")
+    src = kb.live_in("src")
+    dst = kb.live_in("dst")
+    i_src = kb.induction(0, 8)
+    i_dst = kb.induction(0, 8)
+    addr = kb.add(src, i_src)
+    acc = None
+    for k in range(taps):
+        x = kb.load(Opcode.LD_Q, addr, offset=-k)
+        term = kb.cmul(x, Const(0x4000_4000_4000_4000 >> (k % 3)))
+        acc = term if acc is None else kb.c4add(acc, term)
+    kb.store(Opcode.ST_Q, kb.add(dst, i_dst), acc)
+    return kb.finish()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--out", default=os.path.join(_HERE, "out", "smoke"), metavar="DIR"
+    )
+    args = parser.parse_args(argv)
+
+    arch = paper_core()
+    tracer = Tracer()
+    previous = set_tracer(tracer)  # capture the compiler's II search too
+    try:
+        linker = ProgramLinker(arch, name="smoke")
+        linker.call_kernel(
+            build_fir_dfg(), live_ins={"src": 64, "dst": 2048}, trip_count=16
+        )
+        program = linker.link()
+        core = Core(arch, program, tracer=tracer)
+        core.load_configuration()
+        profiles = []
+        with core.region("fir_smoke", profiles, ii=linker.kernel_results[0].ii):
+            core.run()
+    finally:
+        set_tracer(previous)
+
+    report = build_run_report(
+        "smoke_fir",
+        [("smoke", p) for p in profiles],
+        core.stats,
+        tracer=tracer,
+        meta={"workload": "fir_smoke", "trip_count": 16},
+        n_units=arch.n_units,
+    )
+
+    schema_path = os.path.join(_HERE, "run_report.schema.json")
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    errors = schema_errors(report, schema)
+    if errors:
+        print("run report violates %s:" % schema_path, file=sys.stderr)
+        for err in errors:
+            print("  " + err, file=sys.stderr)
+        return 1
+
+    if sum(report["stall_breakdown"].values()) != report["totals"]["stall_cycles"]:
+        print("stall breakdown does not sum to stall_cycles", file=sys.stderr)
+        return 1
+    if not any(e["name"].startswith("cga:") for e in report["mode_timeline"]):
+        print("mode timeline has no CGA span for the kernel", file=sys.stderr)
+        return 1
+
+    os.makedirs(args.out, exist_ok=True)
+    report_path = os.path.join(args.out, "run_report.json")
+    save_run_report(report, report_path)
+    write_chrome_trace(os.path.join(args.out, "trace.json"), tracer)
+    print(render_report(report))
+    print()
+    print("ok: %s validates against %s" % (report_path, schema_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

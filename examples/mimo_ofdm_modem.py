@@ -7,9 +7,16 @@ Table 2 kernel, compiled by the DRESC-like compiler and executed on the
 cycle-accurate simulator.  Prints the measured Table 2, the Table 3
 power figures and the headline real-time analysis.
 
+With ``--trace-out DIR`` the run is traced: DIR receives a Chrome/
+Perfetto ``trace.json`` (load it at https://ui.perfetto.dev) and a
+``run_report.json`` (render it with ``python -m repro.trace.report``).
+
 Takes a few minutes of simulation.  Run:
-    python examples/mimo_ofdm_modem.py
+    python examples/mimo_ofdm_modem.py [--trace-out DIR]
 """
+
+import argparse
+import os
 
 from repro.eval import (
     headline_report,
@@ -18,11 +25,28 @@ from repro.eval import (
     table3_report,
     fig6_report,
 )
+from repro.trace import (
+    Tracer,
+    build_receiver_report,
+    render_report,
+    save_run_report,
+    write_chrome_trace,
+)
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="write trace.json (Chrome/Perfetto) and run_report.json here",
+    )
+    args = parser.parse_args(argv)
+
+    tracer = Tracer() if args.trace_out else None
     print("simulating one packet through the full receiver ...")
-    run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None)
+    run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None, tracer=tracer)
     print()
     print("=== Table 2: kernel profiling (measured vs paper) ===")
     print(table2_report(run))
@@ -40,6 +64,21 @@ def main():
         "CFO: injected %.0f Hz, estimated on-array %.0f Hz; BER %.4f"
         % (run.cfo_true_hz, run.output.cfo_hz, run.ber)
     )
+
+    if tracer is not None:
+        os.makedirs(args.trace_out, exist_ok=True)
+        trace_path = os.path.join(args.trace_out, "trace.json")
+        report_path = os.path.join(args.trace_out, "run_report.json")
+        write_chrome_trace(
+            trace_path, tracer, meta={"seed": 42, "cfo_hz": 50e3}
+        )
+        report = build_receiver_report(
+            run.output, tracer, meta={"seed": 42, "cfo_hz": 50e3, "ber": run.ber}
+        )
+        save_run_report(report, report_path)
+        print()
+        print("=== Run report (%s, %s) ===" % (trace_path, report_path))
+        print(render_report(report))
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from repro.sim.program import (
     SrcKind,
     SrcSel,
 )
+from repro.trace.tracer import get_tracer
 
 #: Pass-through move: 64-bit lane add with zero (single cycle, any unit).
 MOVE_OPCODE = Opcode.C4ADD
@@ -161,7 +162,15 @@ class ModuloScheduler:
         if missing:
             raise CompileError("no central register for live-outs %r" % missing)
 
+        tracer = get_tracer()
         mii = self.min_ii()
+        if tracer.enabled:
+            tracer.instant(
+                "modulo.search",
+                tracer.tick(),
+                cat="compiler",
+                args={"kernel": self.dfg.name, "mii": mii, "max_ii": self.max_ii},
+            )
         last_error: Optional[Exception] = None
         # Large DFGs take noticeably longer per attempt; fewer restarts
         # per II keeps compile times reasonable at a minor II cost.
@@ -170,12 +179,51 @@ class ModuloScheduler:
             for restart in range(restarts):
                 rng = random.Random(self.seed * 7919 + ii * 131 + restart)
                 try:
-                    return self._attempt(
+                    result = self._attempt(
                         ii, mii, rng, live_in_regs, live_out_regs,
                         trip_count, trip_count_reg,
                     )
                 except CompileError as exc:
                     last_error = exc
+                    if tracer.enabled:
+                        tracer.instant(
+                            "modulo.attempt_failed",
+                            tracer.tick(),
+                            cat="compiler",
+                            args={
+                                "kernel": self.dfg.name,
+                                "ii": ii,
+                                "restart": restart,
+                                "error": str(exc),
+                            },
+                        )
+                    continue
+                if tracer.enabled:
+                    tracer.instant(
+                        "modulo.scheduled",
+                        tracer.tick(),
+                        cat="compiler",
+                        args={
+                            "kernel": self.dfg.name,
+                            "ii": result.ii,
+                            "mii": result.mii,
+                            "stages": result.stage_count,
+                            "moves": result.n_moves,
+                            "utilization": result.utilization,
+                        },
+                    )
+                return result
+        if tracer.enabled:
+            tracer.instant(
+                "modulo.unschedulable",
+                tracer.tick(),
+                cat="compiler",
+                args={
+                    "kernel": self.dfg.name,
+                    "max_ii": self.max_ii,
+                    "error": str(last_error),
+                },
+            )
         raise CompileError(
             "kernel %s unschedulable up to II=%d: %s"
             % (self.dfg.name, self.max_ii, last_error)

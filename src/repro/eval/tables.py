@@ -23,6 +23,7 @@ from repro.power import (
 )
 from repro.power.model import PAPER_AVERAGE_W, PAPER_CGA_ACTIVE_W, PAPER_VLIW_ACTIVE_W, PowerModel
 from repro.sim.stats import ActivityStats
+from repro.trace.tracer import Tracer, set_tracer
 
 
 @dataclass
@@ -40,8 +41,14 @@ def run_reference_modem(
     cfo_hz: float = 50e3,
     snr_db: Optional[float] = None,
     channel: Optional[MimoChannel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ReferenceRun:
-    """Transmit one packet and run the full simulated receiver on it."""
+    """Transmit one packet and run the full simulated receiver on it.
+
+    With *tracer* the receiver emits its packet timeline into it, and the
+    tracer is installed process-wide for the duration so the compiler's
+    II-search events land in the same buffer.
+    """
     params = PARAMS_20MHZ_2X2
     rng = np.random.default_rng(seed)
     bits = rng.integers(0, 2, size=2 * params.bits_per_symbol)
@@ -50,7 +57,12 @@ def run_reference_modem(
     rx = chan.apply(tx.waveform, snr_db=snr_db, cfo_hz=cfo_hz)
     noise = 0.001 * (rng.normal(size=(2, 32)) + 1j * rng.normal(size=(2, 32)))
     rx = np.concatenate([noise, rx, np.zeros((2, 64))], axis=1)
-    output = SimReceiver(seed=0).run_packet(rx)
+    previous = set_tracer(tracer) if tracer is not None else None
+    try:
+        output = SimReceiver(seed=0, tracer=tracer).run_packet(rx)
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
     ber = float(np.mean(output.bits != bits))
     return ReferenceRun(output=output, bits_tx=bits, ber=ber, cfo_true_hz=cfo_hz)
 
@@ -102,6 +114,23 @@ def table2_report(run: ReferenceRun) -> str:
         "CGA-mode residency: %.0f%% overall (paper: 72%% preamble / 60%% data)"
         % (100 * stats.cga_fraction)
     )
+    if stats.stall_cycles:
+        parts = [
+            "%s %d" % (cause, cycles)
+            for cause, cycles in sorted(
+                stats.stall_breakdown().items(), key=lambda kv: -kv[1]
+            )
+            if cycles
+        ]
+        text.append(
+            "stall cycles: %d of %d (%.1f%%) — %s"
+            % (
+                stats.stall_cycles,
+                stats.total_cycles,
+                100 * stats.stall_cycles / max(stats.total_cycles, 1),
+                ", ".join(parts),
+            )
+        )
     text.append("BER of the decoded packet: %.4f" % run.ber)
     return "\n".join(text)
 

@@ -49,6 +49,7 @@ class Table2Row:
     mode: str
     ipc: float
     cycles: int
+    stall_cycles: int = 0
     paper_mode: Optional[str] = None
     paper_ipc: Optional[float] = None
     paper_cycles: Optional[int] = None
@@ -85,6 +86,7 @@ def table2_rows(output: ReceiverOutput) -> List[Table2Row]:
                     mode=region.profile.mode,
                     ipc=round(region.profile.ipc, 2),
                     cycles=region.profile.cycles,
+                    stall_cycles=region.profile.stats.stall_cycles,
                     paper_mode=entry[0] if entry else None,
                     paper_ipc=entry[1] if entry else None,
                     paper_cycles=entry[2] if entry else None,
@@ -100,6 +102,7 @@ def table2_rows(output: ReceiverOutput) -> List[Table2Row]:
                 mode="",
                 ipc=round(total_ops / max(total_cycles, 1), 2),
                 cycles=total_cycles,
+                stall_cycles=sum(r.profile.stats.stall_cycles for r in regions),
                 paper_ipc=PAPER_PREAMBLE_IPC if phase == "preamble" else PAPER_DATA_IPC,
                 paper_cycles=(
                     PAPER_PREAMBLE_CYCLES if phase == "preamble" else PAPER_DATA_CYCLES
@@ -112,19 +115,20 @@ def table2_rows(output: ReceiverOutput) -> List[Table2Row]:
 def format_table2(rows: Sequence[Table2Row]) -> str:
     """Render measured-vs-paper Table 2 as fixed-width text."""
     lines = [
-        "%-9s %-26s %-7s %6s %7s | %-9s %6s %7s"
-        % ("phase", "kernel", "mode", "IPC", "cycles", "paper", "IPC", "cycles")
+        "%-9s %-26s %-7s %6s %7s %6s | %-9s %6s %7s"
+        % ("phase", "kernel", "mode", "IPC", "cycles", "stall", "paper", "IPC", "cycles")
     ]
-    lines.append("-" * 88)
+    lines.append("-" * 95)
     for row in rows:
         lines.append(
-            "%-9s %-26s %-7s %6.2f %7d | %-9s %6s %7s"
+            "%-9s %-26s %-7s %6.2f %7d %6d | %-9s %6s %7s"
             % (
                 row.phase,
                 row.kernel,
                 row.mode,
                 row.ipc,
                 row.cycles,
+                row.stall_cycles,
                 row.paper_mode or "",
                 ("%.2f" % row.paper_ipc) if row.paper_ipc else "",
                 row.paper_cycles if row.paper_cycles else "",

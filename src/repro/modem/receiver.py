@@ -78,6 +78,7 @@ from repro.phy.params import PARAMS_20MHZ_2X2, OfdmParams
 from repro.phy.ofdm import PILOT_POLARITY, PILOT_VALUES
 from repro.sim import Core, Program
 from repro.sim.stats import ActivityStats, KernelProfile
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -139,11 +140,17 @@ class SimReceiver:
         params: OfdmParams = PARAMS_20MHZ_2X2,
         mem: MemoryMap = DEFAULT_MAP,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.arch = arch if arch is not None else paper_core()
         self.params = params
         self.mem = mem
         self.seed = seed
+        #: Receives one ``region`` span per Table 2 row plus everything
+        #: the cores emit; region cores restart their cycle counters at
+        #: zero, so the receiver advances the tracer's base after each
+        #: region to keep one coherent packet timeline.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Compact-carrier order: bins 1..28 then 36..63 (runs the
         #: remove-zero-carriers kernel produces).
         self.compact_bins = list(range(1, 29)) + list(range(36, 64))
@@ -158,18 +165,27 @@ class SimReceiver:
         image: bytearray,
         build: Callable[[ProgramLinker], Dict[str, object]],
     ) -> Tuple[RegionRun, bytearray]:
+        tracer = self.tracer
         linker = ProgramLinker(self.arch, name=name, seed=self.seed)
         handles = build(linker) or {}
         program = linker.link()
-        core = Core(self.arch, program)
+        core = Core(self.arch, program, tracer=tracer)
         core.scratchpad._mem[:] = image
+        # Setup (config DMA, I$ warm-up) is excluded from the trace the
+        # same way it is excluded from the steady-state measurement.
+        was_enabled = tracer.enabled
+        tracer.enabled = False
         core.load_configuration()
         # Warm the I$ (steady-state measurement), then reset counters.
         for pc in range(len(program.bundles)):
             core.icache.fetch(pc)
+        tracer.enabled = was_enabled
         before = core.stats.snapshot()
         core.run()
-        delta = core.stats.delta_since(before)
+        delta = core.stats.delta_since(before).validate()
+        if tracer.enabled:
+            tracer.complete(name, 0, delta.total_cycles, cat="region")
+            tracer.advance_base(delta.total_cycles)
         outputs = {}
         for key, handle in handles.items():
             if isinstance(handle, PhysReg):

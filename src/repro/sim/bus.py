@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.sim.memory import Scratchpad
 from repro.sim.stats import ActivityStats
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -44,10 +45,16 @@ class AmbaBus:
     #: Core cycles per 32-bit bus beat (bus clock is half the core clock).
     beat_cycles = 2
 
-    def __init__(self, scratchpad: Scratchpad, stats: Optional[ActivityStats] = None) -> None:
+    def __init__(
+        self,
+        scratchpad: Scratchpad,
+        stats: Optional[ActivityStats] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.scratchpad = scratchpad
         self.special = SpecialRegisters()
         self.stats = stats if stats is not None else ActivityStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._cycle = 0
 
     def advance_to(self, cycle: int) -> None:
@@ -93,10 +100,19 @@ class DmaEngine:
 
     def write_block(self, addr: int, words: Sequence[int]) -> int:
         """Write *words* starting at byte address *addr*; returns bus cycles."""
+        start = self.bus._cycle
         for i, word in enumerate(words):
             self.bus.scratchpad.timed_write(self.bus._cycle, addr + 4 * i, word, 4)
             self.bus._cycle += AmbaBus.beat_cycles
         self.bus.stats.dma_words += len(words)
+        if self.bus.tracer.enabled:
+            self.bus.tracer.complete(
+                "dma.write_block",
+                start,
+                AmbaBus.beat_cycles * len(words),
+                cat="bus",
+                args={"addr": addr, "words": len(words)},
+            )
         return AmbaBus.beat_cycles * len(words)
 
     def load_configuration(self, n_contexts: int, words_per_context: int) -> int:
@@ -107,6 +123,15 @@ class DmaEngine:
         time and energy: returns the bus cycles consumed.
         """
         words = n_contexts * words_per_context
+        start = self.bus._cycle
         self.bus.stats.dma_words += words
         self.bus._cycle += AmbaBus.beat_cycles * words
+        if self.bus.tracer.enabled:
+            self.bus.tracer.complete(
+                "dma.config_load",
+                start,
+                AmbaBus.beat_cycles * words,
+                cat="bus",
+                args={"contexts": n_contexts, "words": words},
+            )
         return AmbaBus.beat_cycles * words

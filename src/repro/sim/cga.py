@@ -40,6 +40,8 @@ from repro.sim.memory import Scratchpad
 from repro.sim.program import CgaKernel, CgaOp, DstKind, SrcKind, SrcSel
 from repro.sim.regfile import LocalRegisterFile, PredicateFile, RegisterFile
 from repro.sim.stats import ActivityStats
+from repro.trace.events import StallCause
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class CgaFault(Exception):
@@ -66,6 +68,7 @@ class CgaEngine:
         local_rfs: Dict[int, LocalRegisterFile],
         scratchpad: Scratchpad,
         stats: ActivityStats,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.arch = arch
         self.cdrf = cdrf
@@ -73,6 +76,7 @@ class CgaEngine:
         self.local_rfs = local_rfs
         self.scratchpad = scratchpad
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._out_latch: List[int] = [0] * arch.n_units
 
     # ------------------------------------------------------------------
@@ -218,7 +222,8 @@ class CgaEngine:
             drain += 1
             self._commit(pending, total_logical - 1 + drain, trip)
         self.stats.cga_cycles += drain
-        self.stats.stall_cycles += stall_offset
+        # All array freezes come from the transparent L1 contention queue.
+        self.stats.add_stall(StallCause.BANK_CONFLICT, stall_offset)
         self.stats.cga_cycles += stall_offset
         return start_cycle + total_logical + stall_offset + drain
 

@@ -26,6 +26,8 @@ from repro.sim.program import CgaKernel, Program
 from repro.sim.regfile import LocalRegisterFile, PredicateFile, RegisterFile
 from repro.sim.stats import ActivityStats, KernelProfile
 from repro.sim.vliw import VliwEngine
+from repro.trace.events import StallCause
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class SimulationError(Exception):
@@ -39,9 +41,15 @@ MODE_SWITCH_CYCLES = 1
 class Core:
     """One hybrid CGA/VLIW processor instance."""
 
-    def __init__(self, arch: CgaArchitecture, program: Program) -> None:
+    def __init__(
+        self,
+        arch: CgaArchitecture,
+        program: Program,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.arch = arch
         self.program = program
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = ActivityStats()
         self.cdrf = RegisterFile(
             entries=arch.cdrf.entries,
@@ -59,11 +67,14 @@ class Core:
             for fu in arch.fus
             if fu.local_rf is not None
         }
-        self.scratchpad = Scratchpad(arch.l1, stats=self.stats)
+        self.scratchpad = Scratchpad(arch.l1, stats=self.stats, tracer=self.tracer)
         self.icache = InstructionCache(
-            arch.icache, miss_penalty=arch.icache_miss_penalty, stats=self.stats
+            arch.icache,
+            miss_penalty=arch.icache_miss_penalty,
+            stats=self.stats,
+            tracer=self.tracer,
         )
-        self.bus = AmbaBus(self.scratchpad, stats=self.stats)
+        self.bus = AmbaBus(self.scratchpad, stats=self.stats, tracer=self.tracer)
         self.dma = DmaEngine(self.bus)
         self.vliw = VliwEngine(
             bundles=program.bundles,
@@ -73,6 +84,7 @@ class Core:
             icache=self.icache,
             stats=self.stats,
             slot_fus=[fu.index for fu in arch.vliw_fus],
+            tracer=self.tracer,
         )
         self.cga = CgaEngine(
             arch=arch,
@@ -81,6 +93,7 @@ class Core:
             local_rfs=self.local_rfs,
             scratchpad=self.scratchpad,
             stats=self.stats,
+            tracer=self.tracer,
         )
         self.cycle = 0
         self.pc = 0
@@ -90,38 +103,60 @@ class Core:
 
     # ------------------------------------------------------------------
 
-    def load_configuration(self) -> None:
-        """DMA-preload all kernels' configuration contexts (accounting only)."""
+    def load_configuration(self, stall_core: bool = False) -> int:
+        """DMA-preload all kernels' configuration contexts (accounting only).
+
+        With *stall_core* the core is modelled as waiting for the
+        configuration stream (cold start): the bus cycles are booked as
+        :attr:`~repro.trace.events.StallCause.DMA_CONFIG` stall on top
+        of the VLIW mode counter.  The default leaves core timing
+        untouched (steady-state measurement, contexts preloaded while
+        the core works on the previous task).  Returns the bus cycles
+        spent.
+        """
+        bus_cycles = 0
         for kernel in self.program.kernels.values():
-            self.dma.load_configuration(len(kernel.contexts), kernel.context_words)
+            bus_cycles += self.dma.load_configuration(
+                len(kernel.contexts), kernel.context_words
+            )
+        if stall_core and bus_cycles:
+            self.stats.add_stall(StallCause.DMA_CONFIG, bus_cycles)
+            self.stats.vliw_cycles += bus_cycles
+            self.cycle += bus_cycles
+        return bus_cycles
 
     def run(self, max_cycles: int = 10_000_000) -> ActivityStats:
         """Run the program to halt/end; returns the accumulated statistics."""
         from repro.sim.vliw import VliwFault
 
+        tracer = self.tracer
         while not self.halted:
             if self.cycle > max_cycles:
                 raise SimulationError(
                     "exceeded %d cycles; runaway program?" % max_cycles
                 )
+            segment_start = self.cycle
             try:
                 stop, cycle = self.vliw.run(self.pc, self.cycle, max_cycle=max_cycles)
             except VliwFault as exc:
                 raise SimulationError(str(exc)) from exc
             self.cycle = cycle
             self.pc = stop.next_pc
+            if tracer.enabled and cycle > segment_start:
+                tracer.complete("vliw", segment_start, cycle - segment_start, cat="mode")
             if stop.reason == "cga":
                 self._run_kernel(stop.kernel_id)
             elif stop.reason in ("halt", "end"):
                 self.halted = True
             else:  # pragma: no cover - defensive
                 raise SimulationError("unknown stop reason %r" % stop.reason)
-        return self.stats
+        return self.stats.validate()
 
     def _run_kernel(self, kernel_id: Optional[int]) -> None:
         if kernel_id is None or kernel_id not in self.program.kernels:
             raise SimulationError("cga references unknown kernel %r" % kernel_id)
         kernel = self.program.kernels[kernel_id]
+        span_start = self.cycle
         # Mode switch in: the shared register file ports flip to the array.
         self.stats.cga_cycles += MODE_SWITCH_CYCLES
         self.cycle += MODE_SWITCH_CYCLES
@@ -131,6 +166,14 @@ class Core:
         # Mode switch out.
         self.stats.cga_cycles += MODE_SWITCH_CYCLES
         self.cycle += MODE_SWITCH_CYCLES
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "cga:%s" % kernel.name,
+                span_start,
+                self.cycle - span_start,
+                cat="mode",
+                args={"ii": kernel.ii, "stages": kernel.stage_count},
+            )
 
     # ------------------------------------------------------------------
 
@@ -139,7 +182,7 @@ class Core:
         """Profile a region: appends a :class:`KernelProfile` to *profiles*."""
         before = self.stats.snapshot()
         yield
-        delta = self.stats.delta_since(before)
+        delta = self.stats.delta_since(before).validate()
         profiles.append(KernelProfile(name=name, stats=delta, ii=ii))
 
     def resume(self) -> None:

@@ -30,7 +30,9 @@ def _sel_text(sel: SrcSel) -> str:
         SrcKind.LRF: "l%d" % sel.value,
         SrcKind.CDRF: "r%d" % sel.value,
         SrcKind.CPRF: "p%d" % sel.value,
-        SrcKind.IMM: "#%d" % (sel.value if sel.value < (1 << 32) else sel.value),
+        SrcKind.IMM: (
+            "#%d" % sel.value if sel.value < (1 << 32) else "#0x%x" % sel.value
+        ),
     }[sel.kind]
     if sel.init is not None:
         return "phi(%s, init=%d)" % (base, sel.init)

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.arch.resources import MemorySpec
 from repro.sim.stats import ActivityStats
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class InstructionCache:
@@ -40,6 +41,7 @@ class InstructionCache:
         miss_penalty: int = 8,
         bundles_per_line: int = 1,
         stats: Optional[ActivityStats] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.spec = spec
         self.n_lines = spec.words
@@ -47,9 +49,14 @@ class InstructionCache:
         self.bundles_per_line = bundles_per_line
         self._tags: List[Optional[int]] = [None] * self.n_lines
         self.stats = stats if stats is not None else ActivityStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def fetch(self, bundle_pc: int) -> int:
-        """Fetch the bundle at *bundle_pc*; returns stall cycles (0 on hit)."""
+    def fetch(self, bundle_pc: int, cycle: int = 0) -> int:
+        """Fetch the bundle at *bundle_pc*; returns stall cycles (0 on hit).
+
+        *cycle* timestamps the miss event in the trace; it does not
+        affect the timing model.
+        """
         line_addr = bundle_pc // self.bundles_per_line
         index = line_addr % self.n_lines
         tag = line_addr // self.n_lines
@@ -58,6 +65,13 @@ class InstructionCache:
             return 0
         self._tags[index] = tag
         self.stats.icache_misses += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "stall.icache_miss",
+                cycle,
+                cat="stall",
+                args={"pc": bundle_pc, "cycles": self.miss_penalty},
+            )
         return self.miss_penalty
 
     def flush(self) -> None:

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.arch.resources import MemorySpec
 from repro.isa.bits import MASK64, to_signed, to_unsigned
 from repro.sim.stats import ActivityStats
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class MemoryError_(Exception):
@@ -34,13 +35,19 @@ class Scratchpad:
     banks.  Storage is little-endian.
     """
 
-    def __init__(self, spec: MemorySpec, stats: Optional[ActivityStats] = None) -> None:
+    def __init__(
+        self,
+        spec: MemorySpec,
+        stats: Optional[ActivityStats] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.spec = spec
         self.n_banks = spec.banks
         self.size_bytes = spec.bytes
         self._mem = bytearray(self.size_bytes)
         self._bank_next_free: List[int] = [0] * self.n_banks
         self.stats = stats if stats is not None else ActivityStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Functional (un-timed) accessors — used for test setup, DMA and
@@ -92,6 +99,13 @@ class Scratchpad:
         if delay > 0:
             self.stats.l1_bank_conflicts += 1
             self.stats.l1_conflict_stall_cycles += delay
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "l1.bank_conflict",
+                    cycle,
+                    cat="mem",
+                    args={"bank": bank, "delay": delay},
+                )
         return delay
 
     def timed_read(self, cycle: int, addr: int, size: int) -> Tuple[int, int]:

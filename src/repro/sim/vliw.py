@@ -30,6 +30,8 @@ from repro.sim.memory import Scratchpad
 from repro.sim.program import VliwBundle
 from repro.sim.regfile import PredicateFile, RegisterFile
 from repro.sim.stats import ActivityStats
+from repro.trace.events import StallCause
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class VliwFault(Exception):
@@ -57,6 +59,7 @@ class VliwEngine:
         icache: InstructionCache,
         stats: ActivityStats,
         slot_fus: Optional[List[int]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.bundles = bundles
         self.cdrf = cdrf
@@ -64,6 +67,7 @@ class VliwEngine:
         self.scratchpad = scratchpad
         self.icache = icache
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: FU index behind each issue slot (for per-FU op accounting).
         self.slot_fus = slot_fus if slot_fus is not None else [0, 1, 2]
         #: Scoreboard: register index -> cycle at which the value is usable.
@@ -118,9 +122,9 @@ class VliwEngine:
                 raise VliwFault("exceeded %d cycles in VLIW mode" % max_cycle)
             bundle = self.bundles[pc]
             # Instruction fetch.
-            miss = self.icache.fetch(pc)
+            miss = self.icache.fetch(pc, cycle)
             if miss:
-                self.stats.stall_cycles += miss
+                self.stats.add_stall(StallCause.ICACHE_MISS, miss)
                 self.stats.vliw_cycles += miss
                 cycle += miss
             # Scoreboard interlock: the whole bundle waits for its sources.
@@ -130,8 +134,15 @@ class VliwEngine:
                     need = max(need, self._ready_cycle(inst))
             if need > cycle:
                 wait = need - cycle
-                self.stats.stall_cycles += wait
+                self.stats.add_stall(StallCause.INTERLOCK, wait)
                 self.stats.vliw_cycles += wait
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "stall.interlock",
+                        cycle,
+                        cat="stall",
+                        args={"pc": pc, "cycles": wait},
+                    )
                 cycle = wait + cycle
             # Issue.
             self.cdrf.begin_cycle()
@@ -177,8 +188,15 @@ class VliwEngine:
             if taken_branch is not None:
                 target, latency = taken_branch
                 dead = latency - 1
-                self.stats.stall_cycles += dead
+                self.stats.add_stall(StallCause.BRANCH, dead)
                 self.stats.vliw_cycles += dead
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "stall.branch",
+                        cycle,
+                        cat="stall",
+                        args={"pc": pc, "target": target, "cycles": dead},
+                    )
                 cycle += dead
                 pc = target
             else:

@@ -1,0 +1,79 @@
+"""Observability subsystem: structured tracing, stall attribution, reports.
+
+The simulator, the compiler and the modem pipeline emit structured
+events (spans, instants, counters) into a :class:`Tracer` — a bounded
+ring buffer that costs one attribute test when disabled.  Exporters
+turn a captured trace and the activity statistics into:
+
+* Chrome/Perfetto ``trace_event`` JSON (:func:`chrome_trace`,
+  :func:`write_chrome_trace`) — open at https://ui.perfetto.dev;
+* Prometheus exposition text (:func:`prometheus_text`);
+* a JSON *run report* (:func:`build_run_report`,
+  :func:`build_receiver_report`) with per-kernel spans, the stall-cause
+  breakdown, FU utilization heatmap data and the mode timeline —
+  rendered by ``python -m repro.trace.report``.
+
+The stall taxonomy (:class:`StallCause`) is defined here and consumed
+by :class:`repro.sim.stats.ActivityStats`, whose per-cause counters
+must sum exactly to ``stall_cycles`` (``ActivityStats.validate``).
+"""
+
+from repro.trace.events import ALL_STALL_CAUSES, StallCause, TraceEvent
+from repro.trace.export import (
+    chrome_trace,
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.trace.schema import SchemaError, schema_errors, validate_json
+
+# repro.trace.report is re-exported lazily (PEP 562): importing it here
+# would pre-load it into sys.modules and make ``python -m
+# repro.trace.report`` print a runpy double-import RuntimeWarning.
+_REPORT_EXPORTS = (
+    "RUN_REPORT_SCHEMA",
+    "build_receiver_report",
+    "build_run_report",
+    "load_run_report",
+    "render_fu_heatmap",
+    "render_kernels",
+    "render_report",
+    "render_stalls",
+    "save_run_report",
+)
+
+
+def __getattr__(name):
+    if name in _REPORT_EXPORTS:
+        from repro.trace import report
+
+        return getattr(report, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+from repro.trace.tracer import NULL_TRACER, TraceError, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "ALL_STALL_CAUSES",
+    "StallCause",
+    "TraceEvent",
+    "Tracer",
+    "TraceError",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "prometheus_text",
+    "RUN_REPORT_SCHEMA",
+    "build_run_report",
+    "build_receiver_report",
+    "save_run_report",
+    "load_run_report",
+    "render_report",
+    "render_stalls",
+    "render_fu_heatmap",
+    "render_kernels",
+    "SchemaError",
+    "schema_errors",
+    "validate_json",
+]

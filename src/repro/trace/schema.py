@@ -1,0 +1,91 @@
+"""A minimal JSON-schema checker (no third-party dependency).
+
+The CI smoke check validates emitted run reports against
+``benchmarks/run_report.schema.json``.  Rather than depending on the
+``jsonschema`` package (not guaranteed in every environment this repo
+targets), this implements the small subset of JSON Schema the report
+schema actually uses: ``type``, ``properties``, ``required``,
+``items``, ``enum``, ``minimum``, ``additionalProperties`` (as a
+schema) and ``patternProperties`` value schemas.
+
+:func:`schema_errors` returns a list of human-readable problems (empty
+when valid); :func:`validate_json` raises on the first report instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(Exception):
+    """Raised by :func:`validate_json` on an invalid document."""
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def schema_errors(value: Any, schema: dict, path: str = "$") -> List[str]:
+    """All violations of *schema* in *value* (depth-first)."""
+    errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(value, t) for t in allowed):
+            errors.append(
+                "%s: expected %s, got %s" % (path, "/".join(allowed), type(value).__name__)
+            )
+            return errors
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not in enum %r" % (path, value, schema["enum"]))
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append("%s: %r below minimum %r" % (path, value, schema["minimum"]))
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required property %r" % (path, key))
+        props = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
+        additional = schema.get("additionalProperties")
+        for key, sub in value.items():
+            sub_path = "%s.%s" % (path, key)
+            if key in props:
+                errors.extend(schema_errors(sub, props[key], sub_path))
+                continue
+            matched = False
+            for pattern, pschema in patterns.items():
+                if re.search(pattern, str(key)):
+                    errors.extend(schema_errors(sub, pschema, sub_path))
+                    matched = True
+                    break
+            if matched:
+                continue
+            if isinstance(additional, dict):
+                errors.extend(schema_errors(sub, additional, sub_path))
+            elif additional is False:
+                errors.append("%s: unexpected property %r" % (path, key))
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(schema_errors(item, schema["items"], "%s[%d]" % (path, i)))
+    return errors
+
+
+def validate_json(value: Any, schema: dict) -> None:
+    """Raise :class:`SchemaError` listing every violation, if any."""
+    errors = schema_errors(value, schema)
+    if errors:
+        raise SchemaError("; ".join(errors))

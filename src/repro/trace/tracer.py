@@ -1,0 +1,172 @@
+"""The structured event tracer: ring-buffered, zero-cost when disabled.
+
+Design constraints (this sits on the simulator's innermost loops):
+
+* **disabled is free** — every emit method returns after a single
+  attribute test, and a disabled tracer never allocates its buffer, so
+  instrumented code can call unconditionally.  Hot loops that build an
+  ``args`` dict should still guard with ``if tracer.enabled:`` so the
+  dict itself is never constructed;
+* **bounded memory** — events land in a ring buffer of fixed capacity;
+  overflow drops the *oldest* events and counts them in
+  :attr:`Tracer.dropped` (a trace is a window, never an OOM);
+* **rebasable clock** — the simulator restarts its cycle counter per
+  region/core; :meth:`set_base` shifts subsequently emitted timestamps
+  so a multi-region run forms one coherent timeline.
+
+A process-wide default tracer (:func:`get_tracer` / :func:`set_tracer`)
+serves components with no natural injection point — the compiler emits
+its II-search progress there.  It defaults to :data:`NULL_TRACER`,
+which is permanently disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.trace.events import TraceEvent
+
+
+class TraceError(Exception):
+    """Raised on misuse of the span stack (end without begin)."""
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` objects into a bounded ring buffer."""
+
+    __slots__ = ("enabled", "capacity", "dropped", "_events", "_base", "_stack", "_tick")
+
+    def __init__(self, capacity: int = 1_000_000, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
+        #: Created lazily on the first enabled emit; a tracer that is
+        #: never enabled never allocates storage.
+        self._events: Optional[deque] = None
+        self._base = 0
+        self._stack: List[TraceEvent] = []
+        self._tick = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def base(self) -> int:
+        """Offset added to every emitted timestamp."""
+        return self._base
+
+    def set_base(self, base: int) -> None:
+        """Rebase the clock: subsequent events get ``ts + base``."""
+        self._base = base
+
+    def advance_base(self, cycles: int) -> None:
+        """Shift the clock forward (after a region's core restarts at 0)."""
+        self._base += cycles
+
+    def tick(self) -> int:
+        """A monotonic sequence clock for events with no simulated time."""
+        self._tick += 1
+        return self._tick
+
+    # -- emission -------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        buf = self._events
+        if buf is None:
+            buf = self._events = deque(maxlen=self.capacity)
+        if len(buf) == self.capacity:
+            self.dropped += 1
+        buf.append(event)
+
+    def instant(self, name: str, ts: int, cat: str = "sim", args: Optional[dict] = None) -> None:
+        """A point event (Chrome phase ``i``)."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent("i", name, cat, ts + self._base, 0, args))
+
+    def complete(
+        self, name: str, ts: int, dur: int, cat: str = "sim", args: Optional[dict] = None
+    ) -> None:
+        """A span with known start and duration (Chrome phase ``X``)."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent("X", name, cat, ts + self._base, dur, args))
+
+    def counter(self, name: str, ts: int, values: dict, cat: str = "sim") -> None:
+        """A counter sample (Chrome phase ``C``); *values* is series->number."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent("C", name, cat, ts + self._base, 0, dict(values)))
+
+    def begin(self, name: str, ts: int, cat: str = "sim", args: Optional[dict] = None) -> None:
+        """Open a nested span (Chrome phase ``B``); close with :meth:`end`."""
+        if not self.enabled:
+            return
+        event = TraceEvent("B", name, cat, ts + self._base, 0, args)
+        self._stack.append(event)
+        self._emit(event)
+
+    def end(self, ts: int, args: Optional[dict] = None) -> None:
+        """Close the innermost open span (Chrome phase ``E``)."""
+        if not self.enabled:
+            return
+        if not self._stack:
+            raise TraceError("end() without a matching begin()")
+        opener = self._stack.pop()
+        self._emit(TraceEvent("E", opener.name, opener.cat, ts + self._base, 0, args))
+
+    @contextmanager
+    def span(self, name: str, ts: int, cat: str = "sim", args: Optional[dict] = None) -> Iterator[None]:
+        """Context manager over :meth:`begin`/:meth:`end` (same clock)."""
+        self.begin(name, ts, cat, args)
+        try:
+            yield
+        finally:
+            self.end(ts)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth of open spans."""
+        return len(self._stack)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the buffered events, oldest first."""
+        return list(self._events) if self._events is not None else []
+
+    def __len__(self) -> int:
+        return len(self._events) if self._events is not None else 0
+
+    def clear(self) -> None:
+        """Drop all buffered events and reset the clocks."""
+        self._events = None
+        self.dropped = 0
+        self._base = 0
+        self._stack.clear()
+        self._tick = 0
+
+
+#: Shared permanently-disabled tracer: components default to it so that
+#: instrumentation costs one attribute test when tracing is off.
+NULL_TRACER = Tracer(capacity=0, enabled=False)
+
+_global_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (disabled unless installed)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install *tracer* as the process-wide default; ``None`` disables.
+
+    Returns the previous tracer so callers can restore it.
+    """
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous

@@ -44,3 +44,14 @@ def test_occupancy_grid_shape():
     assert all(len(row) == 16 for row in grid)
     used = sum(1 for row in grid for cell in row if cell)
     assert used == kernel.ops_per_iteration
+
+
+def test_sel_text_renders_large_immediates_as_hex():
+    from repro.sim.debug import _sel_text
+    from repro.sim.program import SrcKind, SrcSel
+
+    assert _sel_text(SrcSel(SrcKind.IMM, 42)) == "#42"
+    # 64-bit packed-lane constants are unreadable in decimal.
+    packed = 0x4000_4000_4000_4000
+    assert _sel_text(SrcSel(SrcKind.IMM, packed)) == "#0x4000400040004000"
+    assert _sel_text(SrcSel(SrcKind.IMM, (1 << 32) - 1)) == "#%d" % ((1 << 32) - 1)

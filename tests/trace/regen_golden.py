@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Regenerate golden/fir_trace_shape.json from the fixture workload.
+
+Run after an intentional change to what the simulator/compiler emit:
+    PYTHONPATH=src python tests/trace/regen_golden.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.trace import chrome_trace_events
+from tests.trace.conftest import fir_run
+
+
+def main():
+    run = fir_run.__wrapped__()  # unwrap the pytest fixture
+    events = chrome_trace_events(run.tracer)
+    shapes = sorted({(e["ph"], e["cat"], e["name"]) for e in events if e["ph"] != "M"})
+    path = os.path.join(os.path.dirname(__file__), "golden", "fir_trace_shape.json")
+    with open(path, "w") as fh:
+        json.dump([list(s) for s in shapes], fh, indent=1)
+        fh.write("\n")
+    print("wrote %s (%d shapes)" % (path, len(shapes)))
+
+
+if __name__ == "__main__":
+    main()

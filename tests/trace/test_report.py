@@ -1,0 +1,115 @@
+"""Run-report tests: build, schema-validate, roundtrip, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.trace import (
+    RUN_REPORT_SCHEMA,
+    build_run_report,
+    load_run_report,
+    render_fu_heatmap,
+    render_kernels,
+    render_report,
+    render_stalls,
+    save_run_report,
+    schema_errors,
+)
+from repro.trace import report as report_cli
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "run_report.schema.json"
+)
+
+
+@pytest.fixture(scope="session")
+def fir_report(fir_run):
+    return build_run_report(
+        "fir_test",
+        [("smoke", p) for p in fir_run.profiles],
+        fir_run.core.stats,
+        tracer=fir_run.tracer,
+        meta={"trip_count": 16},
+        n_units=fir_run.arch.n_units,
+    )
+
+
+def test_report_validates_against_checked_in_schema(fir_report):
+    with open(SCHEMA_PATH) as fh:
+        schema = json.load(fh)
+    assert schema_errors(fir_report, schema) == []
+
+
+def test_schema_rejects_malformed_report(fir_report):
+    with open(SCHEMA_PATH) as fh:
+        schema = json.load(fh)
+    broken = json.loads(json.dumps(fir_report))
+    broken["totals"]["total_cycles"] = -1
+    del broken["stall_breakdown"]["interlock"]
+    broken["unexpected"] = True
+    errors = schema_errors(broken, schema)
+    assert any("below minimum" in e for e in errors)
+    assert any("interlock" in e for e in errors)
+    assert any("unexpected" in e for e in errors)
+
+
+def test_stall_breakdown_sums_to_stall_cycles(fir_report):
+    assert (
+        sum(fir_report["stall_breakdown"].values())
+        == fir_report["totals"]["stall_cycles"]
+    )
+    for row in fir_report["kernels"]:
+        assert sum(row["stall_breakdown"].values()) == row["stall_cycles"]
+
+
+def test_mode_timeline_and_fu_utilization(fir_report):
+    modes = {t["mode"] for t in fir_report["mode_timeline"]}
+    assert modes == {"CGA", "VLIW"}
+    assert any(t["name"] == "cga:fir4" for t in fir_report["mode_timeline"])
+    assert fir_report["fu_utilization"], "FIR run must exercise FUs"
+    for row in fir_report["fu_utilization"]:
+        assert 0 <= row["fu"] < fir_report["n_units"]
+    assert fir_report["trace"]["events"] > 0
+
+
+def test_save_load_roundtrip(tmp_path, fir_report):
+    path = str(tmp_path / "report.json")
+    save_run_report(fir_report, path)
+    assert load_run_report(path) == json.loads(json.dumps(fir_report))
+
+
+def test_load_rejects_foreign_documents(tmp_path):
+    path = str(tmp_path / "other.json")
+    with open(path, "w") as fh:
+        json.dump({"schema": "something/else"}, fh)
+    with pytest.raises(ValueError):
+        load_run_report(path)
+
+
+def test_renderers_cover_all_sections(fir_report):
+    text = render_report(fir_report)
+    assert "run report: fir_test" in text
+    assert "stall attribution" in text
+    assert "FU utilization" in text
+    assert "fir4" in render_kernels(fir_report)
+    assert "total" in render_stalls(fir_report)
+    assert "fu0" in render_fu_heatmap(fir_report)
+
+
+def test_cli_renders_saved_report(tmp_path, capsys, fir_report):
+    path = str(tmp_path / "report.json")
+    save_run_report(fir_report, path)
+    assert report_cli.main([path]) == 0
+    out = capsys.readouterr().out
+    assert "run report: fir_test" in out
+    assert "stall attribution" in out
+
+
+def test_cli_fails_cleanly_on_missing_file(tmp_path, capsys):
+    assert report_cli.main([str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_schema_identifier_is_stable(fir_report):
+    assert fir_report["schema"] == RUN_REPORT_SCHEMA == "repro.run_report/v1"

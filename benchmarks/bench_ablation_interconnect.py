@@ -7,10 +7,9 @@ initiation intervals, while an all-to-all fabric buys little over the
 paper's mesh-plus at measurable area cost.
 """
 
-import pytest
 
 from repro.arch import paper_core
-from repro.arch.topology import full_topology, mesh_plus_topology, mesh_topology
+from repro.arch.topology import full_topology, mesh_topology
 from repro.compiler import ModuloScheduler
 from repro.kernels.fshift import build_fshift_dfg
 from repro.kernels.sdm import build_sdm_dfg

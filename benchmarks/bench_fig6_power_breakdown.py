@@ -14,7 +14,7 @@ from repro.eval.tables import _mode_reference_stats, calibrated_power_model
 from repro.power.model import FIG6A_SHARES, FIG6B_SHARES
 
 
-def test_fig6_power_breakdowns(benchmark, reference_run, capsys, bench_report):
+def test_fig6_power_breakdowns(benchmark, reference_run, reference_wall_s, capsys, bench_report):
     model = calibrated_power_model(reference_run)
     vliw, cga = _mode_reference_stats(reference_run)
     reports = benchmark(lambda: (model.report(vliw), model.report(cga)))
@@ -43,6 +43,7 @@ def test_fig6_power_breakdowns(benchmark, reference_run, capsys, bench_report):
     bench_report(
         "fig6_power_breakdown",
         stats=reference_run.output.stats,
+        wall_s=reference_wall_s,
         extra={
             "vliw_shares": {k: round(v, 4) for k, v in a.items()},
             "cga_shares": {k: round(v, 4) for k, v in b.items()},

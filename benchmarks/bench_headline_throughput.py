@@ -14,7 +14,7 @@ from repro.modem.analysis import realtime_analysis
 from repro.phy.params import PARAMS_20MHZ_2X2
 
 
-def test_headline_claims(benchmark, reference_run, capsys, bench_report):
+def test_headline_claims(benchmark, reference_run, reference_wall_s, capsys, bench_report):
     report = benchmark(realtime_analysis, reference_run.output)
     with capsys.disabled():
         print("\n=== Headline: throughput / real-time (measured vs paper) ===")
@@ -37,6 +37,7 @@ def test_headline_claims(benchmark, reference_run, capsys, bench_report):
     bench_report(
         "headline_throughput",
         stats=reference_run.output.stats,
+        wall_s=reference_wall_s,
         extra={
             "peak_gops_16bit": arch.peak_gops_16bit,
             "preamble_us": report.preamble_us,

@@ -9,7 +9,6 @@ minutes per point.)
 """
 
 import numpy as np
-import pytest
 
 from repro.phy.channel import MimoChannel
 from repro.phy.modem_ref import run_link

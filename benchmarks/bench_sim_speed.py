@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Simulator speed: host-side simulated cycles per second.
+
+Times the full reference-modem packet (the paper's profiled MIMO-OFDM
+workload) under the decoded fast-path interpreter and reports
+``host_cycles_per_sec`` — total simulated cycles divided by host wall
+seconds.  This is the per-PR trajectory metric of the simulator itself,
+separate from the modelled processor's numbers.
+
+Two numbers are measured, because the workload has two cost centres:
+
+* the **cold** run (the primary ``wall_s``/``host_cycles_per_sec``)
+  includes the modulo-scheduler compile of every kernel, exactly what a
+  fresh benchmark session pays;
+* the **warm** run repeats the packet with the process-wide schedule
+  cache populated, isolating pure simulation speed
+  (``extra.warm_host_cycles_per_sec``).
+
+With ``--reference`` the same warm packet also runs under the reference
+interpreter, the warm decoded/reference speedup lands in ``extra`` and
+the two runs' cycle counts and decoded bits are checked for equality
+(the bit-exact contract; the exhaustive diff lives in
+``tests/sim/test_differential.py``).
+
+Writes ``BENCH_sim_speed.json`` through ``reporting.write_bench_report``
+and validates it against ``bench_report.schema.json``; exit status 0 on
+success.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sim_speed.py [--reference]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
+
+import reporting
+from repro.eval import run_reference_modem
+from repro.trace import schema_errors
+
+
+def timed_run(interpreter):
+    t0 = time.perf_counter()
+    run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None, interpreter=interpreter)
+    wall = time.perf_counter() - t0
+    return run, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="also time the reference interpreter and report the speedup",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR", help="report directory (default benchmarks/out)"
+    )
+    args = parser.parse_args(argv)
+
+    run, wall = timed_run("decoded")
+    stats = run.output.stats
+    cps = stats.total_cycles / wall
+    print(
+        "decoded (cold, incl. compile): %d cycles in %.2fs -> %.0f cycles/s (ber=%g)"
+        % (stats.total_cycles, wall, cps, run.ber)
+    )
+    warm, warm_wall = timed_run("decoded")
+    warm_cps = warm.output.stats.total_cycles / warm_wall
+    print(
+        "decoded (warm schedule cache): %.3fs -> %.0f cycles/s" % (warm_wall, warm_cps)
+    )
+    extra = {
+        "interpreter": "decoded",
+        "ber": run.ber,
+        "warm_wall_s": round(warm_wall, 6),
+        "warm_host_cycles_per_sec": round(warm_cps, 3),
+    }
+
+    if args.reference:
+        ref, ref_wall = timed_run("reference")
+        ref_cps = ref.output.stats.total_cycles / ref_wall
+        print(
+            "reference (warm): %d cycles in %.3fs -> %.0f cycles/s"
+            % (ref.output.stats.total_cycles, ref_wall, ref_cps)
+        )
+        if ref.output.stats.total_cycles != stats.total_cycles:
+            print("FAIL: cycle counts differ between interpreters", file=sys.stderr)
+            return 1
+        if list(ref.output.bits) != list(run.output.bits):
+            print("FAIL: decoded bits differ between interpreters", file=sys.stderr)
+            return 1
+        extra["reference_wall_s"] = round(ref_wall, 6)
+        extra["reference_host_cycles_per_sec"] = round(ref_cps, 3)
+        extra["speedup_vs_reference"] = round(warm_cps / ref_cps, 3)
+        print("warm decoded/reference speedup: %.2fx" % (warm_cps / ref_cps))
+
+    path = reporting.write_bench_report(
+        "sim_speed", out_dir=args.out, wall_s=wall, stats=stats, extra=extra
+    )
+    with open(path) as fh:
+        report = json.load(fh)
+    with open(os.path.join(_HERE, "bench_report.schema.json")) as fh:
+        schema = json.load(fh)
+    errors = schema_errors(report, schema)
+    if errors:
+        print("FAIL: %s violates bench_report.schema.json:" % path, file=sys.stderr)
+        for err in errors:
+            print("  " + err, file=sys.stderr)
+        return 1
+    if report["host_cycles_per_sec"] is None or report["host_cycles_per_sec"] <= 0:
+        print("FAIL: missing host_cycles_per_sec", file=sys.stderr)
+        return 1
+    print("wrote %s (schema ok)" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

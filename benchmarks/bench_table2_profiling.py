@@ -6,13 +6,12 @@ data-movement kernels sit near IPC 1-3, the program is CGA-dominated,
 and the packet decodes.
 """
 
-import pytest
 
 from repro.eval import table2_report
 from repro.modem.profile import table2_rows
 
 
-def test_table2_profile(benchmark, reference_run, capsys, bench_report):
+def test_table2_profile(benchmark, reference_run, reference_wall_s, capsys, bench_report):
     rows = benchmark.pedantic(
         table2_rows, args=(reference_run.output,), rounds=1, iterations=1
     )
@@ -42,6 +41,7 @@ def test_table2_profile(benchmark, reference_run, capsys, bench_report):
     bench_report(
         "table2_profiling",
         stats=stats,
+        wall_s=reference_wall_s,
         extra={
             "cga_ipc": round(cga_ipc, 3),
             "vliw_ipc": round(vliw_ipc, 3),

@@ -15,7 +15,7 @@ from repro.power.model import PAPER_AVERAGE_W, PAPER_CGA_ACTIVE_W, PAPER_VLIW_AC
 from repro.sim.stats import ActivityStats
 
 
-def test_table3_power(benchmark, reference_run, capsys, bench_report):
+def test_table3_power(benchmark, reference_run, reference_wall_s, capsys, bench_report):
     model = calibrated_power_model(reference_run)
     vliw, cga = _mode_reference_stats(reference_run)
 
@@ -50,6 +50,7 @@ def test_table3_power(benchmark, reference_run, capsys, bench_report):
     bench_report(
         "table3_power",
         stats=total,
+        wall_s=reference_wall_s,
         extra={
             "vliw_active_w": round(vliw_w, 4),
             "cga_active_w": round(cga_w, 4),

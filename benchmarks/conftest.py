@@ -45,6 +45,12 @@ def trace_out(request):
     return request.config.getoption("--trace-out")
 
 
+#: Wall seconds the shared reference-modem simulation took, measured at
+#: fixture setup so benches reporting its stats derive an honest
+#: ``host_cycles_per_sec``.
+_REFERENCE_WALL = {}
+
+
 @pytest.fixture(scope="session")
 def reference_run(trace_out):
     """One profiled packet through the full simulated receiver.
@@ -54,7 +60,9 @@ def reference_run(trace_out):
     in that directory at session teardown.
     """
     tracer = Tracer() if trace_out else None
+    clock = reporting.BenchClock()
     run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None, tracer=tracer)
+    _REFERENCE_WALL["s"] = clock.elapsed()
     yield run
     if tracer is None:
         return
@@ -66,20 +74,29 @@ def reference_run(trace_out):
     save_run_report(report, os.path.join(trace_out, "run_report.json"))
 
 
+@pytest.fixture(scope="session")
+def reference_wall_s(reference_run):
+    """Wall seconds of the shared reference-modem simulation."""
+    return _REFERENCE_WALL["s"]
+
+
 @pytest.fixture
 def bench_report(request, trace_out):
     """Write this bench's uniform result JSON; call with (name, stats, extra).
 
-    Wall time is measured from fixture setup (i.e. the whole test body).
+    Wall time is measured from fixture setup (i.e. the whole test body);
+    benches whose *stats* come from the shared ``reference_run`` should
+    pass ``wall_s=reference_wall_s`` instead so the derived
+    ``host_cycles_per_sec`` describes the simulation, not the analysis.
     Reports go to ``--trace-out`` when given, else ``benchmarks/out/``.
     """
     clock = reporting.BenchClock()
 
-    def write(name, stats=None, extra=None):
+    def write(name, stats=None, extra=None, wall_s=None):
         return reporting.write_bench_report(
             name,
             out_dir=trace_out,
-            wall_s=clock.elapsed(),
+            wall_s=clock.elapsed() if wall_s is None else wall_s,
             stats=stats,
             extra=extra,
         )

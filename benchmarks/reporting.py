@@ -56,6 +56,11 @@ def build_bench_report(
     *stats* is duck-typed (``total_cycles``, ``stall_cycles``,
     ``stall_breakdown()`` — an :class:`~repro.sim.stats.ActivityStats`);
     benches without a simulated run leave it ``None``.
+
+    ``host_cycles_per_sec`` — simulated cycles retired per host-side
+    wall second — is derived whenever both a wall time and a cycle count
+    are known; it is the simulator-speed trajectory tracked across PRs
+    (see ``bench_sim_speed.py``).
     """
     report = {
         "schema": BENCH_REPORT_SCHEMA,
@@ -66,6 +71,7 @@ def build_bench_report(
         "cycles": None,
         "stall_cycles": None,
         "stall_breakdown": {},
+        "host_cycles_per_sec": None,
     }
     if stats is not None:
         report["cycles"] = int(stats.total_cycles)
@@ -73,6 +79,8 @@ def build_bench_report(
         report["stall_breakdown"] = {
             cause: int(cycles) for cause, cycles in stats.stall_breakdown().items()
         }
+        if wall_s:
+            report["host_cycles_per_sec"] = round(int(stats.total_cycles) / wall_s, 3)
     if extra:
         report["extra"] = dict(extra)
     return report

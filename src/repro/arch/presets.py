@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional
 
 from repro.arch.config import CgaArchitecture
 from repro.arch.resources import FunctionalUnit, MemorySpec, RegisterFileSpec

@@ -13,7 +13,7 @@ counted loops, later list-scheduled into 3-issue bundles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.compiler.dfg import CompileError, Const, Dfg, LiveIn, NodeRef, Operand
 from repro.isa.opcodes import Opcode

@@ -20,8 +20,7 @@ a named central register) and may carry a guard predicate reference.
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.opcodes import Opcode, OpGroup, group_of, latency_of

@@ -15,11 +15,11 @@ modes (the shared central register file):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.arch.config import CgaArchitecture
-from repro.compiler.builder import PhysReg, VirtualReg, VliwBuilder, VliwSection
+from repro.compiler.builder import PhysReg, VliwBuilder, VliwSection
 from repro.compiler.dfg import CompileError, Dfg
 from repro.compiler.modulo import ModuloScheduler, ScheduleResult
 from repro.compiler.vliw_sched import RegisterMap, schedule_vliw

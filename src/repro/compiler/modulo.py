@@ -24,14 +24,14 @@ inserted moves, utilization).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import CgaArchitecture
 from repro.compiler.dfg import CompileError, Const, Dfg, LiveIn, Node, NodeRef
 from repro.compiler.mrrg import Mrrg
 from repro.isa.bits import MASK64
-from repro.isa.opcodes import Opcode, OpGroup, group_of, latency_of
+from repro.isa.opcodes import Opcode, OpGroup, latency_of
 from repro.sim.program import (
     CgaContext,
     CgaKernel,
@@ -39,7 +39,6 @@ from repro.sim.program import (
     DstKind,
     DstSel,
     Preload,
-    SrcKind,
     SrcSel,
 )
 from repro.trace.tracer import get_tracer

@@ -23,9 +23,8 @@ placement attempt cheaply.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import CgaArchitecture
 from repro.compiler.dfg import CompileError
@@ -38,6 +37,30 @@ class _FuState:
     slots: Dict[int, int] = field(default_factory=dict)  # phase -> op uid
     commits: Dict[int, int] = field(default_factory=dict)  # phase -> window len
     lrf_alloc: Dict[str, int] = field(default_factory=dict)  # live-in -> entry
+
+
+class _MrrgSnapshot:
+    """Rollback state for :meth:`Mrrg.checkpoint`.
+
+    Holds fresh copies of the three mutable scheduling structures and
+    nothing else — in particular not the (immutable, shared)
+    architecture, which a ``copy.deepcopy`` of the whole ``Mrrg`` would
+    clone on every backtracking attempt.  All dict keys and values are
+    ints or strings, so one level of ``dict()`` copying is a full
+    snapshot.
+    """
+
+    __slots__ = ("fus", "cdrf_reads", "cdrf_writes")
+
+    def __init__(
+        self,
+        fus: List[_FuState],
+        cdrf_reads: Dict[int, int],
+        cdrf_writes: Dict[int, int],
+    ) -> None:
+        self.fus = fus
+        self.cdrf_reads = cdrf_reads
+        self.cdrf_writes = cdrf_writes
 
 
 class Mrrg:
@@ -54,11 +77,18 @@ class Mrrg:
 
     # -- checkpointing ---------------------------------------------------
 
-    def checkpoint(self) -> "Mrrg":
+    def checkpoint(self) -> "_MrrgSnapshot":
         """Deep snapshot for backtracking."""
-        return copy.deepcopy(self)
+        return _MrrgSnapshot(
+            [
+                _FuState(dict(s.slots), dict(s.commits), dict(s.lrf_alloc))
+                for s in self.fus
+            ],
+            dict(self.cdrf_reads),
+            dict(self.cdrf_writes),
+        )
 
-    def restore(self, snap: "Mrrg") -> None:
+    def restore(self, snap: "_MrrgSnapshot") -> None:
         """Roll back to a snapshot taken with :meth:`checkpoint`."""
         self.fus = snap.fus
         self.cdrf_reads = snap.cdrf_reads

@@ -22,7 +22,7 @@ timing without wasting instruction-cache space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.compiler.builder import (
     PhysReg,

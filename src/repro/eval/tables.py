@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.arch import paper_core
-from repro.isa.opcodes import GROUP_INFO, Opcode, OpGroup, latency_of, ops_in_group
-from repro.modem.analysis import RealtimeReport, realtime_analysis
+from repro.isa.opcodes import GROUP_INFO, OpGroup, latency_of, ops_in_group
+from repro.modem.analysis import realtime_analysis
 from repro.modem.profile import format_table2, table2_rows
 from repro.modem.receiver import ReceiverOutput, SimReceiver
 from repro.phy.channel import MimoChannel
@@ -42,12 +42,14 @@ def run_reference_modem(
     snr_db: Optional[float] = None,
     channel: Optional[MimoChannel] = None,
     tracer: Optional[Tracer] = None,
+    interpreter: str = "decoded",
 ) -> ReferenceRun:
     """Transmit one packet and run the full simulated receiver on it.
 
     With *tracer* the receiver emits its packet timeline into it, and the
     tracer is installed process-wide for the duration so the compiler's
-    II-search events land in the same buffer.
+    II-search events land in the same buffer.  *interpreter* selects the
+    simulator tier (``"decoded"`` fast path or ``"reference"``).
     """
     params = PARAMS_20MHZ_2X2
     rng = np.random.default_rng(seed)
@@ -59,7 +61,7 @@ def run_reference_modem(
     rx = np.concatenate([noise, rx, np.zeros((2, 64))], axis=1)
     previous = set_tracer(tracer) if tracer is not None else None
     try:
-        output = SimReceiver(seed=0, tracer=tracer).run_packet(rx)
+        output = SimReceiver(seed=0, tracer=tracer, interpreter=interpreter).run_packet(rx)
     finally:
         if tracer is not None:
             set_tracer(previous)

@@ -12,7 +12,7 @@ resolved by the CGA context decoder, not by the VLIW decoder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from repro.isa.opcodes import Opcode, group_of, latency_of

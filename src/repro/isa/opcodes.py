@@ -84,6 +84,15 @@ GROUP_INFO: Dict[OpGroup, GroupInfo] = {
 #: cycle longer than the absolute forms per Table 1.
 RELATIVE_BRANCH_LATENCY = 3
 
+#: Longest execution latency any opcode can have (the divider's 8
+#: cycles).  An in-flight result is therefore visible at most this many
+#: cycles after issue; the engines use it to bound drain loops and size
+#: commit rings.
+MAX_OP_LATENCY = max(
+    max(info.latency for info in GROUP_INFO.values()),
+    RELATIVE_BRANCH_LATENCY,
+)
+
 
 class Opcode(enum.Enum):
     """Every instruction of Table 1.

@@ -22,13 +22,24 @@ int16 (Q15 multiply), which is what the MIMO-OFDM kernels require.
 Together with ``c4add``/``c4sub`` this realises two 16-bit complex
 multiplications per instruction pair, the workhorse of the baseband
 kernels.
+
+Dispatch structure
+------------------
+Every opcode's semantics is one entry in a dict dispatch table
+(``_SCALAR32_TABLE``, ``_SIMD_TABLE``, ``_COMPARES``), so evaluating an
+op is one dict lookup plus one call instead of a walk down an if-chain.
+:func:`execute` remains the reference entry point (full operand
+validation on every call); the pre-decoded execution engines bind the
+per-opcode handler once via :func:`handler_for` and skip the per-call
+validation, which decode performs once per kernel.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.isa import bits
+from repro.isa.bits import MASK32, pack_lanes, sat16, split_lanes, to_signed, to_unsigned
 from repro.isa.opcodes import Opcode, OpGroup, group_of
 
 
@@ -36,37 +47,34 @@ class ExecutionError(Exception):
     """Raised for malformed operands or unsupported opcodes."""
 
 
+#: Scalar 32-bit ops: raw 64-bit patterns in, raw 32-bit pattern out.
+#: Each entry masks/sign-interprets its own operands, so callers pass
+#: register contents through unchanged.
+_SCALAR32_TABLE: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: (a + b) & MASK32,
+    Opcode.ADD_U: lambda a, b: (a + b) & MASK32,
+    Opcode.SUB: lambda a, b: (a - b) & MASK32,
+    Opcode.SUB_U: lambda a, b: (a - b) & MASK32,
+    Opcode.OR: lambda a, b: (a | b) & MASK32,
+    Opcode.NOR: lambda a, b: ~(a | b) & MASK32,
+    Opcode.AND: lambda a, b: (a & b) & MASK32,
+    Opcode.NAND: lambda a, b: ~(a & b) & MASK32,
+    Opcode.XOR: lambda a, b: (a ^ b) & MASK32,
+    Opcode.XNOR: lambda a, b: ~(a ^ b) & MASK32,
+    Opcode.LSL: lambda a, b: ((a & MASK32) << (b & 31)) & MASK32,
+    Opcode.LSR: lambda a, b: (a & MASK32) >> (b & 31),
+    Opcode.ASR: lambda a, b: (to_signed(a, 32) >> (b & 31)) & MASK32,
+    Opcode.MUL: lambda a, b: (to_signed(a, 32) * to_signed(b, 32)) & MASK32,
+    Opcode.MUL_U: lambda a, b: (a * b) & MASK32,
+}
+
+
 def _scalar32(op: Opcode, a: int, b: int) -> int:
     """Evaluate a 32-bit scalar operation; returns the raw 32-bit pattern."""
-    sa, sb = bits.to_signed(a, 32), bits.to_signed(b, 32)
-    ua, ub = a & bits.MASK32, b & bits.MASK32
-    if op in (Opcode.ADD, Opcode.ADD_U):
-        return (ua + ub) & bits.MASK32
-    if op in (Opcode.SUB, Opcode.SUB_U):
-        return (ua - ub) & bits.MASK32
-    if op is Opcode.OR:
-        return ua | ub
-    if op is Opcode.NOR:
-        return (~(ua | ub)) & bits.MASK32
-    if op is Opcode.AND:
-        return ua & ub
-    if op is Opcode.NAND:
-        return (~(ua & ub)) & bits.MASK32
-    if op is Opcode.XOR:
-        return ua ^ ub
-    if op is Opcode.XNOR:
-        return (~(ua ^ ub)) & bits.MASK32
-    if op is Opcode.LSL:
-        return (ua << (ub & 31)) & bits.MASK32
-    if op is Opcode.LSR:
-        return ua >> (ub & 31)
-    if op is Opcode.ASR:
-        return bits.to_unsigned(sa >> (ub & 31), 32)
-    if op in (Opcode.MUL, Opcode.MUL_U):
-        if op is Opcode.MUL:
-            return bits.to_unsigned(sa * sb, 32)
-        return (ua * ub) & bits.MASK32
-    raise ExecutionError("not a scalar32 op: %s" % op)
+    fn = _SCALAR32_TABLE.get(op)
+    if fn is None:
+        raise ExecutionError("not a scalar32 op: %s" % op)
+    return fn(a, b)
 
 
 _COMPARES = {
@@ -102,52 +110,84 @@ def q15_mul(x: int, y: int) -> int:
 UNARY_SIMD = frozenset({Opcode.C4SWAP32, Opcode.C4SWAP16, Opcode.C4NEGB})
 
 
-def _simd(op: Opcode, a: int, b: int) -> int:
-    la, lb = bits.split_lanes(a), bits.split_lanes(b)
-    if op is Opcode.C4ADD:
-        # Lane adds saturate, as customary for DSP SIMD datapaths (a
-        # wrapping add would flip signs on near-full-scale phasors).
-        out = [bits.sat16(la[i] + lb[i]) for i in range(4)]
-    elif op is Opcode.C4SUB:
-        out = [bits.sat16(la[i] - lb[i]) for i in range(4)]
-    elif op is Opcode.C4AND:
-        out = [la[i] & lb[i] for i in range(4)]
-    elif op is Opcode.C4OR:
-        out = [la[i] | lb[i] for i in range(4)]
-    elif op is Opcode.C4XOR:
-        out = [la[i] ^ lb[i] for i in range(4)]
-    elif op is Opcode.C4SHIFTL:
-        shift = b & 15
-        out = [lane << shift for lane in la]
-    elif op is Opcode.C4SHIFTR:
-        shift = b & 15
-        out = [lane >> shift for lane in la]
-    elif op is Opcode.C4SWAP32:
-        # Swap the 32-bit halves: |a|b|c|d| -> |c|d|a|b|.
-        out = [la[2], la[3], la[0], la[1]]
-    elif op is Opcode.C4SWAP16:
-        # Swap within each 32-bit pair: |a|b|c|d| -> |b|a|d|c|.
-        out = [la[1], la[0], la[3], la[2]]
-    elif op is Opcode.C4MAX:
-        out = [max(la[i], lb[i]) for i in range(4)]
-    elif op is Opcode.C4MIN:
-        out = [min(la[i], lb[i]) for i in range(4)]
-    elif op is Opcode.C4NEGB:
-        # Negate the odd lanes (complex conjugate of packed re/im pairs).
-        out = [la[0], bits.sat16(-la[1]), la[2], bits.sat16(-la[3])]
-    elif op is Opcode.D4PROD:
-        out = [q15_mul(la[i], lb[i]) for i in range(4)]
-    elif op is Opcode.C4PROD:
-        # Cross pairing per Table 1: |a1*b2|b1*a2|c1*d2|d1*c2|
-        out = [
+def _lanes(fn: Callable[[int, int], int]) -> Callable[[int, int], int]:
+    """Lift a per-lane (signed 16-bit) binary function to 4x16 SIMD."""
+
+    def simd(a: int, b: int) -> int:
+        la, lb = split_lanes(a), split_lanes(b)
+        return pack_lanes([fn(la[i], lb[i]) for i in range(4)])
+
+    return simd
+
+
+def _c4shiftl(a: int, b: int) -> int:
+    shift = b & 15
+    return pack_lanes([lane << shift for lane in split_lanes(a)])
+
+
+def _c4shiftr(a: int, b: int) -> int:
+    shift = b & 15
+    return pack_lanes([lane >> shift for lane in split_lanes(a)])
+
+
+def _c4swap32(a: int, b: int) -> int:
+    # Swap the 32-bit halves: |a|b|c|d| -> |c|d|a|b|.
+    la = split_lanes(a)
+    return pack_lanes([la[2], la[3], la[0], la[1]])
+
+
+def _c4swap16(a: int, b: int) -> int:
+    # Swap within each 32-bit pair: |a|b|c|d| -> |b|a|d|c|.
+    la = split_lanes(a)
+    return pack_lanes([la[1], la[0], la[3], la[2]])
+
+
+def _c4negb(a: int, b: int) -> int:
+    # Negate the odd lanes (complex conjugate of packed re/im pairs).
+    la = split_lanes(a)
+    return pack_lanes([la[0], sat16(-la[1]), la[2], sat16(-la[3])])
+
+
+def _c4prod(a: int, b: int) -> int:
+    # Cross pairing per Table 1: |a1*b2|b1*a2|c1*d2|d1*c2|
+    la, lb = split_lanes(a), split_lanes(b)
+    return pack_lanes(
+        [
             q15_mul(la[0], lb[1]),
             q15_mul(la[1], lb[0]),
             q15_mul(la[2], lb[3]),
             q15_mul(la[3], lb[2]),
         ]
-    else:
+    )
+
+
+#: SIMD ops: raw 64-bit patterns in (second operand 0 for the unary
+#: forms), packed 4x16 result out.  Lane adds/subs saturate, as
+#: customary for DSP SIMD datapaths (a wrapping add would flip signs on
+#: near-full-scale phasors).
+_SIMD_TABLE: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.C4ADD: _lanes(lambda x, y: sat16(x + y)),
+    Opcode.C4SUB: _lanes(lambda x, y: sat16(x - y)),
+    Opcode.C4AND: _lanes(lambda x, y: x & y),
+    Opcode.C4OR: _lanes(lambda x, y: x | y),
+    Opcode.C4XOR: _lanes(lambda x, y: x ^ y),
+    Opcode.C4SHIFTL: _c4shiftl,
+    Opcode.C4SHIFTR: _c4shiftr,
+    Opcode.C4SWAP32: _c4swap32,
+    Opcode.C4SWAP16: _c4swap16,
+    Opcode.C4MAX: _lanes(max),
+    Opcode.C4MIN: _lanes(min),
+    Opcode.C4NEGB: _c4negb,
+    Opcode.D4PROD: _lanes(q15_mul),
+    Opcode.C4PROD: _c4prod,
+}
+
+
+def _simd(op: Opcode, a: int, b: int) -> int:
+    fn = _SIMD_TABLE.get(op)
+    if fn is None:
         raise ExecutionError("not a SIMD op: %s" % op)
-    return bits.pack_lanes(out)
+    return fn(a, b)
 
 
 def _div(op: Opcode, a: int, b: int) -> int:
@@ -219,3 +259,90 @@ def execute(op: Opcode, srcs: Sequence[int]) -> int:
         "opcode %s (%s group) has machine-state semantics; "
         "it is executed by the simulator core" % (op.value, group.value)
     )
+
+
+# ----------------------------------------------------------------------
+# Pre-bound handlers for the decoded execution engines.
+# ----------------------------------------------------------------------
+
+#: Groups whose opcodes :func:`execute` can evaluate (pure dataflow).
+DATAFLOW_GROUPS = frozenset(
+    {
+        OpGroup.ARITH,
+        OpGroup.LOGIC,
+        OpGroup.SHIFT,
+        OpGroup.COMP,
+        OpGroup.PRED,
+        OpGroup.MUL,
+        OpGroup.SIMD1,
+        OpGroup.SIMD2,
+        OpGroup.DIV,
+    }
+)
+
+
+def _make_compare(cmp: Callable[[int, int, int, int], bool]) -> Callable[[int, int], int]:
+    def compare(a: int, b: int) -> int:
+        return 1 if cmp(to_signed(a, 32), to_signed(b, 32), a & MASK32, b & MASK32) else 0
+
+    return compare
+
+
+def _make_div(op: Opcode) -> Callable[[int, int], int]:
+    def div(a: int, b: int) -> int:
+        return _div(op, a, b)
+
+    return div
+
+
+def _make_unary(fn: Callable[[int, int], int]) -> Callable[[int], int]:
+    def unary(a: int) -> int:
+        return fn(a, 0)
+
+    return unary
+
+
+def _build_handlers() -> Dict[Opcode, Callable[..., int]]:
+    handlers: Dict[Opcode, Callable[..., int]] = {
+        Opcode.PRED_CLEAR: lambda: 0,
+        Opcode.PRED_SET: lambda: 1,
+    }
+    handlers.update(_SCALAR32_TABLE)
+    for op, cmp in _COMPARES.items():
+        handlers[op] = _make_compare(cmp)
+    for op, fn in _SIMD_TABLE.items():
+        handlers[op] = _make_unary(fn) if op in UNARY_SIMD else fn
+    handlers[Opcode.DIV] = _make_div(Opcode.DIV)
+    handlers[Opcode.DIV_U] = _make_div(Opcode.DIV_U)
+    return handlers
+
+
+_HANDLERS: Dict[Opcode, Callable[..., int]] = _build_handlers()
+
+
+def operand_count(op: Opcode) -> int:
+    """Number of operands :func:`handler_for`'s handler takes for *op*."""
+    if op in (Opcode.PRED_CLEAR, Opcode.PRED_SET):
+        return 0
+    if op in UNARY_SIMD:
+        return 1
+    return 2
+
+
+def handler_for(op: Opcode) -> Callable[..., int]:
+    """Return the bound semantic handler of dataflow opcode *op*.
+
+    The handler takes :func:`operand_count` raw operand patterns as
+    positional arguments and returns the raw result pattern — exactly
+    what :func:`execute` would return for well-formed sources, minus the
+    per-call validation (which pre-decode performs once per kernel).
+    Raises :class:`ExecutionError` for opcodes with machine-state
+    semantics (memory, branch, control).
+    """
+    handler = _HANDLERS.get(op)
+    if handler is None:
+        raise ExecutionError(
+            "opcode %s (%s group) has machine-state semantics; "
+            "it is executed by the simulator core" % (op.value, group_of(op).value)
+        )
+    return handler

@@ -10,12 +10,12 @@ SIMD multiplies expect.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.compiler.builder import KernelBuilder, PhysReg, VliwBuilder
-from repro.compiler.dfg import Const, NodeRef, Operand
+from repro.compiler.builder import KernelBuilder, VliwBuilder
+from repro.compiler.dfg import NodeRef
 from repro.isa.opcodes import Opcode
 from repro.sim.memory import Scratchpad
 

@@ -26,7 +26,7 @@ import numpy as np
 from repro.compiler.builder import KernelBuilder
 from repro.compiler.dfg import Const, Dfg
 from repro.isa.opcodes import Opcode
-from repro.kernels.common import MASK_PAIR0, MASK_PAIR1, pack_complex_word
+from repro.kernels.common import MASK_PAIR0, pack_complex_word
 from repro.phy.fft import bit_reverse_indices, twiddles_q15
 
 

@@ -22,7 +22,7 @@ per iteration, all complex multiplies packed (the paper's 9.90 IPC).
 from __future__ import annotations
 
 from repro.compiler.builder import KernelBuilder
-from repro.compiler.dfg import Const, Dfg, NodeRef
+from repro.compiler.dfg import Const, Dfg
 from repro.isa.opcodes import Opcode
 from repro.kernels.common import MASK_PAIR0, MASK_PAIR1
 

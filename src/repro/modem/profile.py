@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.modem.receiver import ReceiverOutput, RegionRun
+from repro.modem.receiver import ReceiverOutput
 
 #: Table 2 of the paper: (phase, kernel, mode, IPC, cycles).
 PAPER_TABLE2 = [

@@ -58,7 +58,6 @@ from repro.kernels.fshift import (
     rotate_constants,
 )
 from repro.kernels.sdm import (
-    W_SHIFT,
     build_chanest_dfg,
     build_eqcoef_dfg,
     build_sdm_dfg,
@@ -76,7 +75,7 @@ from repro.phy import preamble as phy_preamble
 from repro.phy.fixed import q15
 from repro.phy.params import PARAMS_20MHZ_2X2, OfdmParams
 from repro.phy.ofdm import PILOT_POLARITY, PILOT_VALUES
-from repro.sim import Core, Program
+from repro.sim import Core
 from repro.sim.stats import ActivityStats, KernelProfile
 from repro.trace.tracer import NULL_TRACER, Tracer
 
@@ -141,8 +140,10 @@ class SimReceiver:
         mem: MemoryMap = DEFAULT_MAP,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        interpreter: str = "decoded",
     ) -> None:
         self.arch = arch if arch is not None else paper_core()
+        self.interpreter = interpreter
         self.params = params
         self.mem = mem
         self.seed = seed
@@ -169,7 +170,7 @@ class SimReceiver:
         linker = ProgramLinker(self.arch, name=name, seed=self.seed)
         handles = build(linker) or {}
         program = linker.link()
-        core = Core(self.arch, program, tracer=tracer)
+        core = Core(self.arch, program, tracer=tracer, interpreter=self.interpreter)
         core.scratchpad._mem[:] = image
         # Setup (config DMA, I$ warm-up) is excluded from the trace the
         # same way it is excluded from the steady-state measurement.

@@ -17,7 +17,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.phy.fixed import cmul_q15, q15, q15_mul_array
+from repro.phy.fixed import cmul_q15, q15
 
 
 def bit_reverse_indices(n: int) -> np.ndarray:

@@ -14,7 +14,6 @@ These are the golden models of the lighter Table 2 kernels:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -8,8 +8,8 @@ applications": 64-point FFT at 20 Msps, 52 data + 4 pilot subcarriers,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,6 @@ processes in its first phase:
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

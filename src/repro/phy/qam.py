@@ -6,7 +6,6 @@ normalised by 1/sqrt(42) so average symbol energy is 1.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -31,7 +31,7 @@ Leakage is a corner constant: 12.5 mW typical (25 C) and 25 mW at 65 C
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.sim.stats import ActivityStats

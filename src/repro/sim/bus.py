@@ -14,8 +14,8 @@ core-vs-bus AHB priority is the ``core_priority`` flag).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.sim.memory import Scratchpad
 from repro.sim.stats import ActivityStats

@@ -14,7 +14,6 @@ around a region yield per-kernel cycle counts and IPC.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.arch.config import CgaArchitecture
@@ -22,7 +21,7 @@ from repro.sim.bus import AmbaBus, DmaEngine
 from repro.sim.cga import CgaEngine
 from repro.sim.icache import InstructionCache
 from repro.sim.memory import Scratchpad
-from repro.sim.program import CgaKernel, Program
+from repro.sim.program import Program
 from repro.sim.regfile import LocalRegisterFile, PredicateFile, RegisterFile
 from repro.sim.stats import ActivityStats, KernelProfile
 from repro.sim.vliw import VliwEngine
@@ -46,7 +45,10 @@ class Core:
         arch: CgaArchitecture,
         program: Program,
         tracer: Optional[Tracer] = None,
+        interpreter: str = "decoded",
     ) -> None:
+        if interpreter not in ("decoded", "reference"):
+            raise ValueError("interpreter must be 'decoded' or 'reference'")
         self.arch = arch
         self.program = program
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -95,6 +97,9 @@ class Core:
             stats=self.stats,
             tracer=self.tracer,
         )
+        use_decoded = interpreter == "decoded"
+        self.vliw.use_decoded = use_decoded
+        self.cga.use_decoded = use_decoded
         self.cycle = 0
         self.pc = 0
         self.halted = False

@@ -1,0 +1,641 @@
+"""Pre-decode layer: lower kernels and bundle streams into execution-ready form.
+
+The reference interpreters (:meth:`CgaEngine.run_reference`,
+:meth:`VliwEngine.run_reference`) re-derive static facts on every
+simulated cycle: they sort the context's operations, re-resolve each
+opcode's group and latency, re-check functional-unit capabilities and
+wire connectivity, and walk the semantics if-chains.  All of those facts
+are properties of the *program*, not of the cycle being simulated.
+
+This module lowers each :class:`~repro.sim.program.CgaKernel` and each
+:class:`~repro.sim.program.VliwBundle` **once** into flat structures
+holding everything the inner loop needs:
+
+* operations pre-sorted by functional unit, with opcode group, latency,
+  IPC weight and the bound semantic handler
+  (:func:`repro.isa.semantics.handler_for`) attached;
+* source selections compiled to *reader closures* over the engine's
+  register files and output latches — the multiplexer decode, phi
+  handling and immediate masking happen at decode time;
+* destination selections compiled to writer closures with the central-RF
+  port capability already checked;
+* per-context/per-kernel invariants (presence of memory operations,
+  central-register-file traffic, scoreboard source lists) hoisted so the
+  engines can skip whole phases for contexts that cannot need them.
+
+Decoding validates the same structural properties the reference
+interpreters check dynamically (FU capability, wire connectivity,
+local/central RF availability, operand arity) and raises the engine's
+fault type eagerly; a kernel that decodes cleanly executes with no
+per-cycle checks.  The engines cache decoded programs keyed by the
+program object, so steady-state simulation touches this module only on
+the first entry into a kernel or bundle.
+
+Correctness contract: for every well-formed program, the decoded
+execution path produces **bit-identical** architectural state, cycle
+counts and :class:`~repro.sim.stats.ActivityStats` (per-cause stall
+counters included) to the reference interpreters.
+``tests/sim/test_differential.py`` enforces this by running every
+kernel shape under both paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.arch.config import CgaArchitecture
+from repro.isa.bits import MASK64, sext
+from repro.isa.instruction import Imm, Instruction, PredReg, Reg
+from repro.isa.opcodes import (
+    MAX_OP_LATENCY,
+    Opcode,
+    OpGroup,
+    group_of,
+    latency_of,
+    op_weight,
+)
+from repro.isa.semantics import DATAFLOW_GROUPS, handler_for, operand_count
+from repro.sim import memops
+from repro.sim.program import CgaKernel, CgaOp, DstKind, SrcKind, SrcSel, VliwBundle
+from repro.sim.regfile import LocalRegisterFile, PredicateFile, RegisterFile
+from repro.sim.stats import ActivityStats
+
+#: Commit-ring length: an operation issued at logical cycle *c* becomes
+#: visible at most ``MAX_OP_LATENCY`` cycles later, so a ring of this
+#: size never wraps onto an un-committed slot.
+COMMIT_RING_SLOTS = MAX_OP_LATENCY + 1
+
+#: Operation classes the decoded inner loops dispatch on (int compares
+#: instead of enum identity checks).
+KIND_DATAFLOW = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_BRANCH = 3
+KIND_CONTROL = 4
+
+Reader = Callable[[int], int]
+
+
+def _load_converter(op: Opcode) -> Tuple[int, Callable[[int], int]]:
+    """Return ``(size_bytes, raw -> register-value converter)`` for a load."""
+    info = memops.mem_info(op)
+    if info.size == 8:
+        return 8, lambda raw: raw
+    width = info.size * 8
+    if info.signed:
+        return info.size, lambda raw: sext(raw, width, 32)
+    mask = (1 << width) - 1
+    return info.size, lambda raw: raw & mask
+
+
+# ----------------------------------------------------------------------
+# CGA kernel decoding
+# ----------------------------------------------------------------------
+
+
+class DecodedCgaOp:
+    """One execution-ready CGA operation slot."""
+
+    __slots__ = (
+        "fu",
+        "opcode",
+        "group",
+        "kind",
+        "stage",
+        "latency",
+        "weight",
+        "compute",
+        "dsts",
+        "pred_reader",
+        "pred_negate",
+        # memory operations only:
+        "base_reader",
+        "off_reader",
+        "off_const",
+        "mem_size",
+        "load_convert",
+        "store_reader",
+        "store_mask",
+    )
+
+    def __init__(self, fu: int, op: CgaOp) -> None:
+        self.fu = fu
+        self.opcode = op.opcode
+        self.group = group_of(op.opcode)
+        self.stage = op.stage
+        self.latency = latency_of(op.opcode)
+        self.weight = op_weight(op.opcode)
+        self.pred_negate = op.pred_negate
+        self.compute: Optional[Callable[[int], int]] = None
+        self.dsts: Tuple[Tuple[Callable[[int], None], bool], ...] = ()
+        self.pred_reader: Optional[Reader] = None
+        self.base_reader: Optional[Reader] = None
+        self.off_reader: Optional[Reader] = None
+        self.off_const = 0
+        self.mem_size = 0
+        self.load_convert: Optional[Callable[[int], int]] = None
+        self.store_reader: Optional[Reader] = None
+        self.store_mask = 0
+
+
+class DecodedContext:
+    """One configuration context, lowered: ops pre-sorted by FU."""
+
+    __slots__ = ("ops", "has_mem")
+
+    def __init__(self, ops: Tuple[DecodedCgaOp, ...]) -> None:
+        self.ops = ops
+        self.has_mem = any(op.kind != KIND_DATAFLOW for op in ops)
+
+
+class DecodedKernel:
+    """A :class:`CgaKernel` lowered for the fast execution path.
+
+    Holds a reference to the source kernel so the identity-keyed decode
+    cache can never alias two kernels (the reference pins the id).
+    """
+
+    __slots__ = (
+        "kernel",
+        "contexts",
+        "touches_central",
+        "unpred_counts",
+        "min_stage",
+        "max_stage",
+    )
+
+    def __init__(
+        self,
+        kernel: CgaKernel,
+        contexts: List[DecodedContext],
+        touches_central: bool,
+    ) -> None:
+        self.kernel = kernel
+        self.contexts = contexts
+        self.touches_central = touches_central
+        #: An unpredicated op at stage *s* executes exactly
+        #: ``min(trip, trip + stage_count - 1 - s)`` times, so its
+        #: operation counters are booked in one batch per kernel run.
+        counts: List[Tuple[int, OpGroup, int, int]] = []
+        min_stage = 0
+        max_stage = 0
+        for ctx in contexts:
+            for op in ctx.ops:
+                if op.stage > max_stage:
+                    max_stage = op.stage
+                if op.stage < min_stage:
+                    min_stage = op.stage
+                if op.pred_reader is None:
+                    counts.append((op.fu, op.group, op.weight, op.stage))
+        self.unpred_counts = tuple(counts)
+        #: Stage extremes, for the engine's steady-state window (the
+        #: logical-cycle range in which every op is inside the trip).
+        self.min_stage = min_stage
+        self.max_stage = max_stage
+
+
+class _CgaOpDecoder:
+    """Compiles one kernel's operations against one engine's state."""
+
+    def __init__(
+        self,
+        arch: CgaArchitecture,
+        cdrf: RegisterFile,
+        cprf: PredicateFile,
+        local_rfs: Dict[int, LocalRegisterFile],
+        out_latch: List[int],
+        stats: ActivityStats,
+        fault: Type[Exception],
+    ) -> None:
+        self.arch = arch
+        self.cdrf = cdrf
+        self.cprf = cprf
+        self.local_rfs = local_rfs
+        self.out_latch = out_latch
+        self.stats = stats
+        self.fault = fault
+        self.touches_central = False
+
+    # -- source multiplexers -------------------------------------------
+
+    def reader(self, fu: int, sel: SrcSel) -> Reader:
+        """Compile one source selection to a ``reader(iteration)`` closure.
+
+        The closure reproduces the reference ``_read_src`` exactly,
+        including its statistics side effects (interconnect transfer and
+        register-file access counts) and the phi rule that iteration 0
+        reads the initial immediate *without* touching the normal
+        source.
+        """
+        kind = sel.kind
+        base: Reader
+        if kind is SrcKind.SELF:
+            latch = self.out_latch
+
+            def base(iteration: int, _latch=latch, _fu=fu) -> int:
+                return _latch[_fu]
+
+        elif kind is SrcKind.WIRE:
+            if not self.arch.interconnect.connected(sel.value, fu):
+                raise self.fault(
+                    "no wire from FU%d to FU%d in %s" % (sel.value, fu, self.arch.name)
+                )
+            latch, stats, src = self.out_latch, self.stats, sel.value
+
+            def base(iteration: int, _latch=latch, _stats=stats, _src=src) -> int:
+                _stats.interconnect_transfers += 1
+                return _latch[_src]
+
+        elif kind is SrcKind.LRF:
+            if fu not in self.local_rfs:
+                raise self.fault("FU%d has no local register file" % fu)
+            lrf, index = self.local_rfs[fu], sel.value
+
+            def base(iteration: int, _lrf=lrf, _index=index) -> int:
+                return _lrf.read(_index)
+
+        elif kind is SrcKind.CDRF:
+            self._require_central_port(fu)
+            rf, index = self.cdrf, sel.value
+
+            def base(iteration: int, _rf=rf, _index=index) -> int:
+                return _rf.read(_index)
+
+        elif kind is SrcKind.CPRF:
+            self._require_central_port(fu)
+            rf, index = self.cprf, sel.value
+
+            def base(iteration: int, _rf=rf, _index=index) -> int:
+                return _rf.read(_index)
+
+        elif kind is SrcKind.IMM:
+            const = sel.value & MASK64
+
+            def base(iteration: int, _const=const) -> int:
+                return _const
+
+        else:  # pragma: no cover - SrcKind is a closed enum
+            raise self.fault("unknown source kind %r" % (kind,))
+
+        if sel.init is None:
+            return base
+        init = sel.init & MASK64
+
+        def phi(iteration: int, _init=init, _base=base) -> int:
+            return _init if iteration == 0 else _base(iteration)
+
+        return phi
+
+    def _require_central_port(self, fu: int) -> None:
+        if not self.arch.fus[fu].has_cdrf_port:
+            raise self.fault("FU%d has no central RF port" % fu)
+        self.touches_central = True
+
+    # -- destinations ---------------------------------------------------
+
+    def writer(self, fu: int, kind: DstKind, index: int) -> Callable[[int], None]:
+        if kind is DstKind.LRF:
+            if fu not in self.local_rfs:
+                raise self.fault("FU%d has no local register file" % fu)
+            lrf = self.local_rfs[fu]
+            return lambda value, _lrf=lrf, _index=index: _lrf.write(_index, value)
+        if kind is DstKind.CDRF:
+            self._require_central_port(fu)
+            rf = self.cdrf
+            return lambda value, _rf=rf, _index=index: _rf.write(_index, value)
+        if kind is DstKind.CPRF:
+            self._require_central_port(fu)
+            rf = self.cprf
+            return lambda value, _rf=rf, _index=index: _rf.write(_index, value & 1)
+        raise self.fault("unknown destination kind %r" % (kind,))  # pragma: no cover
+
+    # -- operations -----------------------------------------------------
+
+    def decode_op(self, fu: int, op: CgaOp) -> DecodedCgaOp:
+        if fu >= self.arch.n_units:
+            raise self.fault("context names FU%d beyond %d units" % (fu, self.arch.n_units))
+        if not self.arch.fus[fu].supports(op.opcode):
+            raise self.fault("FU%d cannot execute %s" % (fu, op.opcode.value))
+        if op.stage < 0:
+            raise self.fault("FU%d op has negative pipeline stage %d" % (fu, op.stage))
+        dec = DecodedCgaOp(fu, op)
+        if op.pred is not None:
+            dec.pred_reader = self.reader(fu, op.pred)
+        dec.dsts = tuple(
+            (self.writer(fu, dst.kind, dst.index), dst.last_iteration_only)
+            for dst in op.dsts
+        )
+        group = dec.group
+        if group is OpGroup.LDMEM:
+            dec.kind = KIND_LOAD
+            self._decode_mem_operands(dec, op)
+            dec.mem_size, dec.load_convert = _load_converter(op.opcode)
+        elif group is OpGroup.STMEM:
+            dec.kind = KIND_STORE
+            if len(op.srcs) < 3:
+                raise self.fault("%s needs base, offset and value sources" % op.opcode.value)
+            self._decode_mem_operands(dec, op)
+            info = memops.mem_info(op.opcode)
+            dec.mem_size = info.size
+            dec.store_mask = (1 << (info.size * 8)) - 1
+            dec.store_reader = self.reader(fu, op.srcs[2])
+        elif group in DATAFLOW_GROUPS:
+            dec.kind = KIND_DATAFLOW
+            dec.compute = self._compile_dataflow(fu, op)
+        else:
+            raise self.fault(
+                "opcode %s (%s group) cannot execute on the array"
+                % (op.opcode.value, group.value)
+            )
+        return dec
+
+    def _decode_mem_operands(self, dec: DecodedCgaOp, op: CgaOp) -> None:
+        if len(op.srcs) < 2:
+            raise self.fault("%s needs base and offset sources" % op.opcode.value)
+        base_sel, off_sel = op.srcs[0], op.srcs[1]
+        dec.base_reader = self.reader(dec.fu, base_sel)
+        if off_sel.kind is SrcKind.IMM and off_sel.init is None:
+            # Immediate offsets are pre-scaled at decode time.
+            info = memops.mem_info(op.opcode)
+            dec.off_reader = None
+            dec.off_const = (off_sel.value & MASK64) << info.imm_scale
+        else:
+            dec.off_reader = self.reader(dec.fu, off_sel)
+
+    def _compile_dataflow(self, fu: int, op: CgaOp) -> Callable[[int], int]:
+        handler = handler_for(op.opcode)
+        arity = operand_count(op.opcode)
+        readers = tuple(self.reader(fu, sel) for sel in op.srcs)
+        n = len(readers)
+        if arity == 2:
+            if n != 2:
+                raise self.fault("%s expects 2 sources" % op.opcode.value)
+            r0, r1 = readers
+
+            def compute(iteration: int, _h=handler, _r0=r0, _r1=r1) -> int:
+                return _h(_r0(iteration), _r1(iteration))
+
+            return compute
+        if arity == 1:
+            if n not in (1, 2):
+                raise self.fault("%s expects 1 source" % op.opcode.value)
+        # Rare shapes (unary ops with a spare source, pred_set/pred_clear
+        # with any): read every source for its side effects, as the
+        # reference interpreter does, then apply the handler.
+
+        def compute_generic(
+            iteration: int, _h=handler, _rs=readers, _arity=arity
+        ) -> int:
+            values = [r(iteration) for r in _rs]
+            return _h(*values[:_arity])
+
+        return compute_generic
+
+
+def decode_kernel(
+    kernel: CgaKernel,
+    arch: CgaArchitecture,
+    cdrf: RegisterFile,
+    cprf: PredicateFile,
+    local_rfs: Dict[int, LocalRegisterFile],
+    out_latch: List[int],
+    stats: ActivityStats,
+    fault: Type[Exception],
+) -> DecodedKernel:
+    """Lower *kernel* against one engine's state; raises *fault* on
+    structurally illegal configurations (bad routing, port abuse, caps)."""
+    decoder = _CgaOpDecoder(arch, cdrf, cprf, local_rfs, out_latch, stats, fault)
+    contexts = [
+        DecodedContext(
+            tuple(decoder.decode_op(fu, ctx.ops[fu]) for fu in sorted(ctx.ops))
+        )
+        for ctx in kernel.contexts
+    ]
+    return DecodedKernel(kernel, contexts, decoder.touches_central)
+
+
+# ----------------------------------------------------------------------
+# VLIW bundle decoding
+# ----------------------------------------------------------------------
+
+
+class DecodedInst:
+    """One execution-ready VLIW slot instruction."""
+
+    __slots__ = (
+        "kind",
+        "opcode",
+        "group",
+        "fu",
+        "weight",
+        "latency",
+        "pred_index",
+        "pred_negate",
+        "compute",
+        "wb_index",
+        "wb_is_pred",
+        # branches only:
+        "target_const",
+        "target_reg",
+        "link_index",
+        # memory operations only:
+        "base_reader",
+        "off_reader",
+        "off_const",
+        "mem_size",
+        "load_convert",
+        "store_reader",
+        "store_mask",
+        # control only:
+        "kernel_id",
+    )
+
+
+class DecodedBundle:
+    """One VLIW bundle, lowered: live slots only, scoreboard lists hoisted."""
+
+    __slots__ = ("insts", "need_regs", "need_preds")
+
+    def __init__(
+        self,
+        insts: Tuple[DecodedInst, ...],
+        need_regs: Tuple[int, ...],
+        need_preds: Tuple[int, ...],
+    ) -> None:
+        self.insts = insts
+        self.need_regs = need_regs
+        self.need_preds = need_preds
+
+
+class _VliwDecoder:
+    """Compiles bundles against one engine's register files."""
+
+    def __init__(
+        self,
+        cdrf: RegisterFile,
+        cprf: PredicateFile,
+        slot_fus: List[int],
+        fault: Type[Exception],
+    ) -> None:
+        self.cdrf = cdrf
+        self.cprf = cprf
+        self.slot_fus = slot_fus
+        self.fault = fault
+
+    def reader(self, operand) -> Callable[[], int]:
+        if isinstance(operand, Reg):
+            rf, index = self.cdrf, operand.index
+            return lambda _rf=rf, _index=index: _rf.read(_index)
+        if isinstance(operand, PredReg):
+            rf, index = self.cprf, operand.index
+            return lambda _rf=rf, _index=index: _rf.read(_index)
+        if isinstance(operand, Imm):
+            const = operand.value & MASK64
+            return lambda _const=const: _const
+        raise self.fault("bad VLIW operand: %r" % (operand,))
+
+    def decode_bundle(self, pc: int, bundle: VliwBundle) -> DecodedBundle:
+        insts: List[DecodedInst] = []
+        need_regs: List[int] = []
+        need_preds: List[int] = []
+        for slot, inst in enumerate(bundle):
+            if inst is None or inst.opcode is Opcode.NOP:
+                continue
+            for operand in inst.srcs:
+                if isinstance(operand, Reg) and operand.index not in need_regs:
+                    need_regs.append(operand.index)
+                elif isinstance(operand, PredReg) and operand.index not in need_preds:
+                    need_preds.append(operand.index)
+            if inst.pred is not None and isinstance(inst.pred, PredReg):
+                if inst.pred.index not in need_preds:
+                    need_preds.append(inst.pred.index)
+            insts.append(self.decode_inst(pc, slot, inst))
+        return DecodedBundle(tuple(insts), tuple(need_regs), tuple(need_preds))
+
+    def decode_inst(self, pc: int, slot: int, inst: Instruction) -> DecodedInst:
+        dec = DecodedInst()
+        op = inst.opcode
+        group = group_of(op)
+        dec.opcode = op
+        dec.group = group
+        dec.fu = self.slot_fus[slot] if slot < len(self.slot_fus) else slot
+        dec.weight = op_weight(op)
+        dec.latency = latency_of(op)
+        dec.pred_index = inst.pred.index if inst.pred is not None else None
+        dec.pred_negate = inst.pred_negate
+        dec.compute = None
+        dec.wb_index, dec.wb_is_pred = self._writeback(inst)
+        dec.target_const = 0
+        dec.target_reg = None
+        dec.link_index = None
+        dec.base_reader = None
+        dec.off_reader = None
+        dec.off_const = 0
+        dec.mem_size = 0
+        dec.load_convert = None
+        dec.store_reader = None
+        dec.store_mask = 0
+        dec.kernel_id = None
+        if group is OpGroup.CONTROL:
+            dec.kind = KIND_CONTROL
+            if op is Opcode.CGA:
+                dec.kernel_id = inst.srcs[0].value if inst.srcs else 0
+        elif group is OpGroup.BRANCH:
+            dec.kind = KIND_BRANCH
+            self._decode_branch(dec, pc, inst)
+        elif group is OpGroup.LDMEM:
+            dec.kind = KIND_LOAD
+            self._decode_mem_operands(dec, inst)
+            dec.mem_size, dec.load_convert = _load_converter(op)
+        elif group is OpGroup.STMEM:
+            dec.kind = KIND_STORE
+            base_op, off_op, val_op = inst.srcs
+            dec.base_reader = self.reader(base_op)
+            if not isinstance(off_op, Imm):
+                raise self.fault("stores use immediate offsets (Table 1)")
+            info = memops.mem_info(op)
+            dec.off_const = off_op.value << info.imm_scale
+            dec.mem_size = info.size
+            dec.store_mask = (1 << (info.size * 8)) - 1
+            dec.store_reader = self.reader(val_op)
+        else:
+            dec.kind = KIND_DATAFLOW
+            dec.compute = self._compile_dataflow(inst)
+        return dec
+
+    def _decode_branch(self, dec: DecodedInst, pc: int, inst: Instruction) -> None:
+        op = inst.opcode
+        if op in (Opcode.JMP, Opcode.JMPL):
+            target_src = inst.srcs[0]
+            if isinstance(target_src, Imm):
+                dec.target_const = target_src.value
+            else:
+                dec.target_reg = target_src.index
+        else:  # br / brl: PC-relative in bundle units
+            offset = inst.srcs[0]
+            if not isinstance(offset, Imm):
+                raise self.fault("relative branch needs an immediate offset")
+            dec.target_const = pc + 1 + offset.value
+        if op in (Opcode.JMPL, Opcode.BRL):
+            link = inst.dst if inst.dst is not None else Reg(9)
+            dec.link_index = link.index
+
+    def _decode_mem_operands(self, dec: DecodedInst, inst: Instruction) -> None:
+        base_op, off_op = inst.srcs[0], inst.srcs[1]
+        dec.base_reader = self.reader(base_op)
+        if isinstance(off_op, Imm):
+            info = memops.mem_info(inst.opcode)
+            dec.off_const = off_op.value << info.imm_scale
+        else:
+            dec.off_reader = self.reader(off_op)
+
+    def _writeback(self, inst: Instruction) -> Tuple[Optional[int], bool]:
+        """Resolve the destination to ``(register index, is-predicate)``.
+
+        The engine applies the write and the scoreboard-ready update
+        itself (the ready maps are engine state that decode must not
+        capture).
+        """
+        dst = inst.dst
+        if dst is None or group_of(inst.opcode) in (
+            OpGroup.CONTROL,
+            OpGroup.BRANCH,
+            OpGroup.STMEM,
+        ):
+            return None, False
+        if isinstance(dst, Reg):
+            return dst.index, False
+        if isinstance(dst, PredReg):
+            return dst.index, True
+        raise self.fault("bad VLIW destination: %r" % (dst,))
+
+    def _compile_dataflow(self, inst: Instruction) -> Callable[[], int]:
+        handler = handler_for(inst.opcode)
+        arity = operand_count(inst.opcode)
+        readers = tuple(self.reader(s) for s in inst.srcs)
+        n = len(readers)
+        if arity == 2:
+            if n != 2:
+                raise self.fault("%s expects 2 sources" % inst.opcode.value)
+            r0, r1 = readers
+            return lambda _h=handler, _r0=r0, _r1=r1: _h(_r0(), _r1())
+        if arity == 1 and n not in (1, 2):
+            raise self.fault("%s expects 1 source" % inst.opcode.value)
+
+        def compute_generic(_h=handler, _rs=readers, _arity=arity) -> int:
+            values = [r() for r in _rs]
+            return _h(*values[:_arity])
+
+        return compute_generic
+
+
+def decode_bundle(
+    pc: int,
+    bundle: VliwBundle,
+    cdrf: RegisterFile,
+    cprf: PredicateFile,
+    slot_fus: List[int],
+    fault: Type[Exception],
+) -> DecodedBundle:
+    """Lower the bundle at *pc*; raises *fault* on malformed operands."""
+    return _VliwDecoder(cdrf, cprf, slot_fus, fault).decode_bundle(pc, bundle)

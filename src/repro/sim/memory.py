@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.arch.resources import MemorySpec
-from repro.isa.bits import MASK64, to_signed, to_unsigned
+from repro.isa.bits import to_signed, to_unsigned
 from repro.sim.stats import ActivityStats
 from repro.trace.tracer import NULL_TRACER, Tracer
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.isa.bits import MASK64
 from repro.sim.stats import ActivityStats
 
 

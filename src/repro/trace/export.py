@@ -28,7 +28,6 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
-from repro.trace.events import TraceEvent
 from repro.trace.tracer import Tracer
 
 #: Stable thread ids per category; unknown categories get ids above these.

@@ -6,7 +6,6 @@ from repro.arch import CgaArchitecture, paper_core, small_test_core
 from repro.arch.resources import FunctionalUnit, RegisterFileSpec
 from repro.arch.topology import full_topology
 from repro.isa import Opcode
-from repro.isa.opcodes import OpGroup
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ import pytest
 from repro.arch import paper_core
 from repro.arch.topology import mesh_topology
 from repro.compiler import CompileError, KernelBuilder, ModuloScheduler
-from repro.compiler.builder import PhysReg
 from repro.compiler.linker import ProgramLinker
 from repro.isa import Opcode
 from repro.isa.bits import pack_lanes, split_lanes

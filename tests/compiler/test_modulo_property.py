@@ -10,7 +10,6 @@ gating, latch lifetimes and move insertion in one property.
 
 from typing import Dict, List
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

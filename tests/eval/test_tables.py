@@ -5,15 +5,9 @@ harness and tests/modem; these tests cover the pieces that do not need
 a packet simulation.
 """
 
-import pytest
 
 from repro.eval import fig5_report, table1_text
-from repro.modem.profile import (
-    PAPER_TABLE2,
-    Table2Row,
-    format_table2,
-    table2_rows,
-)
+from repro.modem.profile import PAPER_TABLE2, format_table2, table2_rows
 from repro.modem.receiver import ReceiverOutput, RegionRun
 from repro.sim.stats import ActivityStats, KernelProfile
 

@@ -4,7 +4,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.isa import Opcode, execute
-from repro.isa.bits import MASK64, pack_lanes, sat16, split_lanes
+from repro.isa.bits import MASK64, sat16, split_lanes
 from repro.isa.opcodes import DUAL_ISSUE_OPS, OpGroup, group_of, op_weight
 
 u64 = st.integers(min_value=0, max_value=MASK64)

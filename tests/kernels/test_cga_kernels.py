@@ -1,7 +1,6 @@
 """End-to-end kernel tests: compile, simulate, compare with PHY golden."""
 
 import numpy as np
-import pytest
 
 from repro.arch import paper_core
 from repro.compiler.linker import ProgramLinker
@@ -10,8 +9,8 @@ from repro.kernels.common import load_complex_array, store_complex_array
 from repro.kernels.demod import build_demod_dfg, labels_to_bits
 from repro.kernels.fshift import build_fshift_dfg, build_cfo_rotate, phasor_table_words, rotate_constants
 from repro.kernels.xcorr import build_xcorr_dfg
-from repro.isa.bits import split_lanes, to_signed
-from repro.phy.fixed import q15, quantize_complex
+from repro.isa.bits import split_lanes
+from repro.phy.fixed import quantize_complex
 from repro.phy.freq import fshift
 from repro.phy.qam import qam64_modulate
 from repro.sim import Core

@@ -4,7 +4,6 @@ The reference packet run takes a couple of minutes of simulation, so it
 is produced once per test session and shared.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import run_reference_modem

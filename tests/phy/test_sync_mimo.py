@@ -7,7 +7,7 @@ from repro.phy import mimo, preamble
 from repro.phy.channel import MimoChannel, awgn
 from repro.phy.freq import cfo_compensate, fshift, fshift_q15
 from repro.phy.fixed import complex_from_q15, quantize_complex
-from repro.phy.modem_ref import receive, run_link, transmit
+from repro.phy.modem_ref import run_link, transmit
 from repro.phy.params import PARAMS_20MHZ_2X2
 
 

@@ -11,12 +11,7 @@ from repro.power import (
     default_model,
     calibrate_from_reference,
 )
-from repro.power.model import (
-    FIG6A_SHARES,
-    FIG6B_SHARES,
-    PAPER_CGA_ACTIVE_W,
-    PAPER_VLIW_ACTIVE_W,
-)
+from repro.power.model import FIG6B_SHARES, PAPER_CGA_ACTIVE_W, PAPER_VLIW_ACTIVE_W
 from repro.sim.stats import ActivityStats
 
 

@@ -1,7 +1,7 @@
 """AMBA bus and DMA model tests."""
 
 from repro.arch.resources import MemorySpec
-from repro.sim.bus import AmbaBus, DmaEngine, SpecialRegisters
+from repro.sim.bus import AmbaBus, DmaEngine
 from repro.sim.memory import Scratchpad
 
 

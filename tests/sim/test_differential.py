@@ -1,0 +1,460 @@
+"""Differential harness: decoded fast path vs. reference interpreter.
+
+Every program here runs under both interpreters
+(``Core(interpreter="decoded")`` and ``Core(interpreter="reference")``)
+and the final machine state must be **bit-identical**: cycle counts,
+every register file, scratchpad memory, and the full
+:class:`~repro.sim.stats.ActivityStats` including per-cause stall
+counters.  This is the correctness contract of the pre-decode layer
+(`src/repro/sim/decode.py`): lowering is an optimisation, never a
+semantic change.
+"""
+
+import pytest
+
+from repro.arch import paper_core
+from repro.compiler.linker import ProgramLinker
+from repro.isa import Imm, Instruction, Opcode, PredReg, Reg
+from repro.kernels.fshift import build_fshift_dfg, phasor_table_words
+from repro.kernels.xcorr import build_xcorr_dfg
+from repro.phy.fixed import quantize_complex
+from repro.sim import (
+    CgaContext,
+    CgaKernel,
+    CgaOp,
+    Core,
+    DstSel,
+    Program,
+    SrcSel,
+    VliwBundle,
+)
+from repro.sim.program import DstKind, Preload
+from repro.sim.stats import _COUNTER_FIELDS, _SCALAR_FIELDS
+
+
+def enter_and_halt(kernel_id=0):
+    return [
+        VliwBundle((Instruction(Opcode.CGA, srcs=(Imm(kernel_id),)), None, None)),
+        VliwBundle((Instruction(Opcode.HALT), None, None)),
+    ]
+
+
+def assert_identical(decoded: Core, reference: Core) -> None:
+    """Assert bit-identical architectural state and statistics."""
+    assert decoded.cycle == reference.cycle, "cycle counts differ"
+    assert decoded.pc == reference.pc
+    assert decoded.halted == reference.halted
+    assert decoded.kernel_log == reference.kernel_log
+    n = decoded.cdrf.entries
+    assert [decoded.cdrf.peek(i) for i in range(n)] == [
+        reference.cdrf.peek(i) for i in range(n)
+    ], "CDRF contents differ"
+    n = decoded.cprf.entries
+    assert [decoded.cprf.peek(i) for i in range(n)] == [
+        reference.cprf.peek(i) for i in range(n)
+    ], "CPRF contents differ"
+    assert set(decoded.local_rfs) == set(reference.local_rfs)
+    for fu, lrf in decoded.local_rfs.items():
+        ref = reference.local_rfs[fu]
+        assert [lrf.peek(i) for i in range(lrf.entries)] == [
+            ref.peek(i) for i in range(ref.entries)
+        ], "local RF %d contents differ" % fu
+    assert bytes(decoded.scratchpad._mem) == bytes(
+        reference.scratchpad._mem
+    ), "scratchpad contents differ"
+    for name in _SCALAR_FIELDS:
+        assert getattr(decoded.stats, name) == getattr(reference.stats, name), (
+            "stats.%s differs: decoded=%r reference=%r"
+            % (name, getattr(decoded.stats, name), getattr(reference.stats, name))
+        )
+    for name in _COUNTER_FIELDS:
+        dec = {k: v for k, v in getattr(decoded.stats, name).items() if v}
+        ref = {k: v for k, v in getattr(reference.stats, name).items() if v}
+        assert dec == ref, "stats.%s differs" % name
+
+
+def run_both(program, pokes=(), mem=(), arch=None):
+    """Run *program* under both interpreters and diff the final state."""
+    cores = []
+    for interpreter in ("decoded", "reference"):
+        core = Core(arch or paper_core(), program, interpreter=interpreter)
+        for reg, value in pokes:
+            core.cdrf.poke(reg, value)
+        for addr, value, size in mem:
+            core.scratchpad.write_word(addr, value, size)
+        core.run()
+        cores.append(core)
+    assert_identical(cores[0], cores[1])
+    return cores[0]
+
+
+# ----------------------------------------------------------------------
+# Hand-built CGA kernels covering every structural feature
+# ----------------------------------------------------------------------
+
+
+def k_accumulator():
+    op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.imm(5)),
+        dsts=(DstSel(DstKind.CDRF, 10, last_iteration_only=True),),
+    )
+    return CgaKernel(
+        name="acc", ii=1, stage_count=1,
+        contexts=[CgaContext(ops={0: op})], trip_count=10,
+    ), (), ()
+
+
+def k_trip_from_register():
+    op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.imm(1)),
+        dsts=(DstSel(DstKind.CDRF, 10, last_iteration_only=True),),
+    )
+    return CgaKernel(
+        name="count", ii=1, stage_count=1,
+        contexts=[CgaContext(ops={0: op})], trip_count_reg=5,
+    ), [(5, 7)], ()
+
+
+def k_pipelined_load():
+    n = 8
+    addr_op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(-4 & 0xFFFFFFFF), SrcSel.imm(4)),
+        stage=0,
+    )
+    load_op = CgaOp(
+        opcode=Opcode.LD_I, srcs=(SrcSel.wire(0), SrcSel.imm(0)), stage=1,
+    )
+    acc_op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.wire(1)),
+        dsts=(DstSel(DstKind.CDRF, 20, last_iteration_only=True),),
+        stage=6,
+    )
+    kernel = CgaKernel(
+        name="sum", ii=1, stage_count=7,
+        contexts=[CgaContext(ops={0: addr_op, 1: load_op, 2: acc_op})],
+        trip_count=n,
+    )
+    return kernel, (), [(4 * i, i + 1, 4) for i in range(n)]
+
+
+def k_store_stream():
+    """Induction variable stored through FU0 -> store on FU1 (bank traffic)."""
+    idx_op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(-1 & 0xFFFFFFFF), SrcSel.imm(1)),
+        stage=0,
+    )
+    addr_op = CgaOp(
+        opcode=Opcode.LSL, srcs=(SrcSel.wire(0), SrcSel.imm(2)), stage=1,
+    )
+    store_op = CgaOp(
+        opcode=Opcode.ST_I,
+        srcs=(SrcSel.wire(2), SrcSel.imm(0), SrcSel.wire(0)),
+        stage=2,
+    )
+    kernel = CgaKernel(
+        name="fill", ii=1, stage_count=3,
+        contexts=[
+            CgaContext(ops={0: idx_op, 2: addr_op, 1: store_op}),
+        ],
+        trip_count=6,
+    )
+    return kernel, (), ()
+
+
+def k_predicated():
+    """Guarded accumulate: every other iteration squashed via CPRF toggle."""
+    toggle = CgaOp(
+        opcode=Opcode.XOR,
+        srcs=(SrcSel.self_().with_init(1), SrcSel.imm(1)),
+        dsts=(DstSel(DstKind.CPRF, 3),),
+        stage=0,
+    )
+    acc = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.imm(1)),
+        dsts=(DstSel(DstKind.CDRF, 11, last_iteration_only=True),),
+        pred=SrcSel.cprf(3),
+        stage=1,
+    )
+    neg = CgaOp(
+        opcode=Opcode.SUB,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.imm(1)),
+        dsts=(DstSel(DstKind.CDRF, 12, last_iteration_only=True),),
+        pred=SrcSel.cprf(3),
+        pred_negate=True,
+        stage=1,
+    )
+    kernel = CgaKernel(
+        name="pred", ii=1, stage_count=2,
+        contexts=[CgaContext(ops={0: toggle, 1: acc, 2: neg})],
+        trip_count=9,
+    )
+    return kernel, (), ()
+
+
+def k_ii2_multi_context():
+    """II=2 with different ops per context and an LRF-held live-in.
+
+    The multiply sits on FU4 (has a local RF, no central port); the
+    result crosses a mesh wire to FU0, which owns a central RF port.
+    """
+    mul = CgaOp(
+        opcode=Opcode.MUL,
+        srcs=(SrcSel.self_().with_init(1), SrcSel.lrf(0)),
+        stage=0,
+    )
+    add = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.wire(4), SrcSel.imm(3)),
+        dsts=(DstSel(DstKind.CDRF, 13, last_iteration_only=True),),
+        stage=0,
+    )
+    kernel = CgaKernel(
+        name="ii2", ii=2, stage_count=1,
+        contexts=[CgaContext(ops={4: mul}), CgaContext(ops={0: add})],
+        trip_count=5,
+        preloads=[Preload(fu=4, lrf_index=0, cdrf_reg=6)],
+    )
+    return kernel, [(6, 3)], ()
+
+
+def k_simd_div():
+    """SIMD lane math + the 24-bit divider (longest latency, drain test)."""
+    lanes = CgaOp(
+        opcode=Opcode.C4ADD,
+        srcs=(SrcSel.self_().with_init(0x0001_0002_0003_0004), SrcSel.imm(0x0001_0001_0001_0001)),
+        dsts=(DstSel(DstKind.CDRF, 14, last_iteration_only=True),),
+        stage=0,
+    )
+    div = CgaOp(
+        opcode=Opcode.DIV,
+        srcs=(SrcSel.self_().with_init(1000), SrcSel.imm(3)),
+        dsts=(DstSel(DstKind.CDRF, 15, last_iteration_only=True),),
+        stage=0,
+    )
+    kernel = CgaKernel(
+        name="simd_div", ii=1, stage_count=1,
+        contexts=[CgaContext(ops={2: lanes, 0: div})],
+        trip_count=4,
+    )
+    return kernel, (), ()
+
+
+def k_bank_conflict():
+    """Two same-cycle loads to the same L1 bank: stall-cause parity."""
+    load_a = CgaOp(opcode=Opcode.LD_I, srcs=(SrcSel.imm(0), SrcSel.imm(0)), stage=0)
+    load_b = CgaOp(opcode=Opcode.LD_I, srcs=(SrcSel.imm(64), SrcSel.imm(0)), stage=0)
+    kernel = CgaKernel(
+        name="conflict", ii=1, stage_count=1,
+        contexts=[CgaContext(ops={0: load_a, 1: load_b})],
+        trip_count=5,
+    )
+    return kernel, (), [(0, 7, 4), (64, 9, 4)]
+
+
+CGA_KERNELS = [
+    k_accumulator,
+    k_trip_from_register,
+    k_pipelined_load,
+    k_store_stream,
+    k_predicated,
+    k_ii2_multi_context,
+    k_simd_div,
+    k_bank_conflict,
+]
+
+
+@pytest.mark.parametrize("build", CGA_KERNELS, ids=lambda b: b.__name__)
+def test_cga_kernel_differential(build):
+    kernel, pokes, mem = build()
+    program = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    run_both(program, pokes=pokes, mem=mem)
+
+
+def test_zero_trip_differential():
+    kernel, _, _ = k_accumulator()
+    kernel = CgaKernel(
+        name="zero", ii=kernel.ii, stage_count=kernel.stage_count,
+        contexts=kernel.contexts, trip_count_reg=5,
+    )
+    program = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    run_both(program, pokes=[(5, 0)])
+
+
+def test_repeated_kernel_entry_uses_cache():
+    """Entering the same kernel twice exercises the decode cache."""
+    kernel, _, _ = k_accumulator()
+    bundles = [
+        VliwBundle((Instruction(Opcode.CGA, srcs=(Imm(0),)), None, None)),
+        VliwBundle((Instruction(Opcode.CGA, srcs=(Imm(0),)), None, None)),
+        VliwBundle((Instruction(Opcode.HALT), None, None)),
+    ]
+    program = Program(bundles=bundles, kernels={0: kernel})
+    core = run_both(program)
+    assert len(core.kernel_log) == 2
+
+
+# ----------------------------------------------------------------------
+# VLIW control flow, scoreboard, memory
+# ----------------------------------------------------------------------
+
+
+def test_vliw_loop_differential():
+    """Counted loop: interlocks, taken/not-taken branches, loads, stores."""
+    bundles = [
+        # r1 = 5 (counter), r2 = 0 (sum)
+        VliwBundle((
+            Instruction(Opcode.ADD, srcs=(Imm(0), Imm(5)), dst=Reg(1)),
+            Instruction(Opcode.ADD, srcs=(Imm(0), Imm(0)), dst=Reg(2)),
+            None,
+        )),
+        # loop: r2 += r1; p1 = (r1 > 1); r1 -= 1
+        VliwBundle((
+            Instruction(Opcode.ADD, srcs=(Reg(2), Reg(1)), dst=Reg(2)),
+            Instruction(Opcode.PRED_GT, srcs=(Reg(1), Imm(1)), dst=PredReg(1)),
+            Instruction(Opcode.SUB, srcs=(Reg(1), Imm(1)), dst=Reg(1)),
+        )),
+        # if p1: br loop (-2)
+        VliwBundle((
+            Instruction(Opcode.BR, srcs=(Imm(-2),), pred=PredReg(1)),
+            None,
+            None,
+        )),
+        # store r2 to mem[16]; load it back into r3
+        VliwBundle((
+            Instruction(Opcode.ST_I, srcs=(Reg(2), Imm(4), Reg(2))),
+            None,
+            None,
+        )),
+        VliwBundle((
+            Instruction(Opcode.LD_I, srcs=(Imm(15), Imm(1)), dst=Reg(3)),
+            None,
+            None,
+        )),
+        VliwBundle((Instruction(Opcode.HALT), None, None)),
+    ]
+    core = run_both(Program(bundles=bundles))
+    assert core.cdrf.peek(2) == 15  # 5+4+3+2+1
+    assert core.stats.stall_causes  # interlock/branch stalls happened
+
+
+def test_vliw_jmpl_link_differential():
+    """jmpl writes the link register and jumps; jmp via register returns."""
+    bundles = [
+        VliwBundle((
+            Instruction(Opcode.JMPL, srcs=(Imm(3),), dst=Reg(9)),
+            None,
+            None,
+        )),
+        # Fallthrough target after return: r4 = 42; halt.
+        VliwBundle((
+            Instruction(Opcode.ADD, srcs=(Imm(0), Imm(42)), dst=Reg(4)),
+            None,
+            None,
+        )),
+        VliwBundle((Instruction(Opcode.HALT), None, None)),
+        # Subroutine: jmp back through the link register.
+        VliwBundle((
+            Instruction(Opcode.JMP, srcs=(Reg(9),)),
+            None,
+            None,
+        )),
+    ]
+    core = run_both(Program(bundles=bundles))
+    assert core.cdrf.peek(4) == 42
+    assert core.cdrf.peek(9) == 1
+
+
+def test_vliw_predicated_slots_differential():
+    """Predicated slots squash without architectural effect."""
+    bundles = [
+        VliwBundle((
+            Instruction(Opcode.PRED_SET, dst=PredReg(2)),
+            Instruction(Opcode.ADD, srcs=(Imm(0), Imm(1)), dst=Reg(5)),
+            None,
+        )),
+        VliwBundle((
+            Instruction(Opcode.ADD, srcs=(Imm(0), Imm(7)), dst=Reg(6), pred=PredReg(2)),
+            Instruction(
+                Opcode.ADD, srcs=(Imm(0), Imm(9)), dst=Reg(7),
+                pred=PredReg(2), pred_negate=True,
+            ),
+            None,
+        )),
+        VliwBundle((Instruction(Opcode.HALT), None, None)),
+    ]
+    core = run_both(Program(bundles=bundles))
+    assert core.cdrf.peek(6) == 7
+    assert core.cdrf.peek(7) == 0
+    assert core.stats.squashed_ops == 1  # only the negated slot squashes
+
+
+# ----------------------------------------------------------------------
+# Real compiled kernels (modulo scheduler output)
+# ----------------------------------------------------------------------
+
+
+def _compiled_program(build_dfg, live_ins, trip):
+    arch = paper_core()
+    linker = ProgramLinker(arch)
+    linker.call_kernel(build_dfg, live_ins=live_ins, trip_count=trip)
+    return arch, linker.link()
+
+
+def test_compiled_fshift_differential():
+    """The CFO-rotation kernel as produced by the modulo scheduler."""
+    import numpy as np
+
+    from repro.kernels.common import store_complex_array
+
+    n = 32
+    rng = np.random.default_rng(7)
+    x = 0.3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    re, im = quantize_complex(x)
+    table = phasor_table_words(50e3, 20e6, n)
+    arch, program = _compiled_program(
+        build_fshift_dfg(),
+        live_ins={"src": 0, "dst": 2048, "tab": 1024},
+        trip=n // 2,
+    )
+    cores = []
+    for interpreter in ("decoded", "reference"):
+        core = Core(arch, program, interpreter=interpreter)
+        store_complex_array(core.scratchpad, 0, re, im)
+        for k, w in enumerate(table):
+            core.scratchpad.write_word(1024 + 8 * k, w, 8)
+        core.run()
+        cores.append(core)
+    assert_identical(cores[0], cores[1])
+
+
+def test_compiled_xcorr_differential():
+    """The cross-correlation kernel (SIMD reduction + live-out latching)."""
+    import numpy as np
+
+    from repro.kernels.common import store_complex_array
+
+    n = 16
+    rng = np.random.default_rng(11)
+    sig = 0.25 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    ref = 0.25 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    sig_re, sig_im = quantize_complex(sig)
+    ref_re, ref_im = quantize_complex(ref)
+    arch, program = _compiled_program(
+        build_xcorr_dfg(),
+        live_ins={"base": 0, "ref": 2048},
+        trip=n // 2,
+    )
+    cores = []
+    for interpreter in ("decoded", "reference"):
+        core = Core(arch, program, interpreter=interpreter)
+        store_complex_array(core.scratchpad, 0, sig_re, sig_im)
+        store_complex_array(core.scratchpad, 2048, ref_re, ref_im)
+        core.run()
+        cores.append(core)
+    assert_identical(cores[0], cores[1])

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import paper_core
-from repro.isa import Imm, Instruction, Opcode, PredReg, Reg, assemble
+from repro.isa import Imm, Instruction, Opcode, Reg, assemble
 from repro.sim import Core, Program, VliwBundle
 
 

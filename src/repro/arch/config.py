@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -103,6 +104,60 @@ class CgaArchitecture:
     def fus_with_group(self, group: OpGroup) -> List[int]:
         """Indices of the units implementing operation group *group*."""
         return [fu.index for fu in self.fus if group in fu.groups]
+
+    def structural_key(self) -> tuple:
+        """Canonical tuple of everything that shapes compilation/execution.
+
+        Deliberately excludes :attr:`name`: two instances with the same
+        structural key schedule and execute identically, whatever they
+        are called, and two same-named ablation variants do not.
+        """
+
+        def rf_key(rf: RegisterFileSpec) -> tuple:
+            return (rf.entries, rf.width, rf.read_ports, rf.write_ports)
+
+        def mem_key(mem: MemorySpec) -> tuple:
+            return (mem.words, mem.width, mem.banks)
+
+        fus = tuple(
+            (
+                fu.index,
+                tuple(sorted(g.value for g in fu.groups)),
+                fu.vliw_slot,
+                fu.has_cdrf_port,
+                rf_key(fu.local_rf) if fu.local_rf is not None else None,
+            )
+            for fu in self.fus
+        )
+        return (
+            self.rows,
+            self.cols,
+            fus,
+            (self.interconnect.n_units, tuple(sorted(self.interconnect.edges))),
+            rf_key(self.cdrf),
+            rf_key(self.cprf),
+            self.local_rf_entries,
+            mem_key(self.l1),
+            mem_key(self.icache),
+            self.config_memory_contexts,
+            self.clock_hz,
+            self.icache_miss_penalty,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable structural digest (hex), independent of :attr:`name`.
+
+        This is the architecture component of schedule-cache keys (in
+        memory and on disk): it is derived from :meth:`structural_key`
+        via SHA-256 of its canonical ``repr``, so it is reproducible
+        across processes and hash seeds.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.sha256(repr(self.structural_key()).encode("utf-8"))
+            cached = digest.hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     @property
     def peak_gops_16bit(self) -> float:

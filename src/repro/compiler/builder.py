@@ -250,9 +250,16 @@ class VliwSection:
 
 @dataclass
 class VliwLoop:
-    """A counted loop of VLIW code (rolled; branch overhead is real)."""
+    """A counted loop of VLIW code (rolled; branch overhead is real).
 
-    trip_count: int
+    ``trip_count`` is either a compile-time int or a register (virtual
+    or physical) holding the count at run time — the runtime's way of
+    keeping data-dependent loop bounds out of the linked program.  The
+    loop is a do-while (the body always runs once), so register counts
+    must be positive.
+    """
+
+    trip_count: Union["VirtualReg", "PhysReg", int]
     body: List[VliwOp]
 
 
@@ -332,8 +339,14 @@ class VliwBuilder:
     def store(self, opcode: Opcode, base, offset: int, value) -> None:
         self.op(opcode, base, offset, value)
 
-    def counted_loop(self, trip_count: int) -> "_LoopContext":
-        """Open a counted loop: ``with vb.counted_loop(n): ...``."""
+    def counted_loop(
+        self, trip_count: Union["VirtualReg", "PhysReg", int]
+    ) -> "_LoopContext":
+        """Open a counted loop: ``with vb.counted_loop(n): ...``.
+
+        *trip_count* may be a register holding the (positive) count at
+        run time; the loop body always executes at least once.
+        """
         return _LoopContext(self, trip_count)
 
     def finish(self) -> VliwSection:
@@ -344,7 +357,9 @@ class VliwBuilder:
 
 
 class _LoopContext:
-    def __init__(self, builder: VliwBuilder, trip_count: int) -> None:
+    def __init__(
+        self, builder: VliwBuilder, trip_count: Union[VirtualReg, PhysReg, int]
+    ) -> None:
         self.builder = builder
         self.trip_count = trip_count
 

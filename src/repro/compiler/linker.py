@@ -15,11 +15,14 @@ modes (the shared central register file):
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.arch.config import CgaArchitecture
-from repro.compiler.builder import PhysReg, VliwBuilder, VliwSection
+from repro.compiler.builder import PhysReg, VirtualReg, VliwBuilder, VliwSection
 from repro.compiler.dfg import CompileError, Dfg
 from repro.compiler.modulo import ModuloScheduler, ScheduleResult
 from repro.compiler.vliw_sched import RegisterMap, schedule_vliw
@@ -27,14 +30,57 @@ from repro.isa.instruction import Imm, Instruction
 from repro.isa.opcodes import Opcode
 from repro.sim.program import CgaKernel, Program, VliwBundle
 
-ValueSource = Union[int, PhysReg]
+ValueSource = Union[int, PhysReg, VirtualReg]
 
 #: Modulo-scheduling results memoised across programs.  Kernels are
 #: structurally identified by their op stream plus the register calling
-#: convention; re-linking the same kernel (every packet, every region)
-#: then reuses the schedule, exactly as a real toolflow caches object
-#: code.
+#: convention and the architecture's structural fingerprint (NOT its
+#: name — same-name ablation variants must not alias); re-linking the
+#: same kernel (every packet, every region) then reuses the schedule,
+#: exactly as a real toolflow caches object code.
 _SCHEDULE_CACHE: Dict[tuple, "ScheduleResult"] = {}
+
+#: Optional persistent second level of the schedule cache (a directory
+#: of pickled :class:`ScheduleResult` files), configured by
+#: :func:`configure_schedule_cache` or the ``REPRO_SCHEDULE_CACHE``
+#: environment variable.  A warm directory lets a fresh process link
+#: every modem program without a single :meth:`ModuloScheduler.schedule`
+#: call.
+_DISK_CACHE_DIR: Optional[str] = None
+
+#: On-disk payload format version; bump when ScheduleResult changes shape.
+_DISK_FORMAT = 1
+
+_CACHE_STATS = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+
+def configure_schedule_cache(directory: Optional[str]) -> Optional[str]:
+    """Set (or with ``None`` unset) the persistent schedule-cache directory."""
+    global _DISK_CACHE_DIR
+    _DISK_CACHE_DIR = os.fspath(directory) if directory is not None else None
+    return _DISK_CACHE_DIR
+
+
+def schedule_cache_dir() -> Optional[str]:
+    """The active persistent cache directory, if any.
+
+    The explicit :func:`configure_schedule_cache` setting wins; the
+    ``REPRO_SCHEDULE_CACHE`` environment variable provides the default
+    so worker processes and benchmark subprocesses inherit the cache.
+    """
+    return _DISK_CACHE_DIR or os.environ.get("REPRO_SCHEDULE_CACHE") or None
+
+
+def clear_schedule_cache() -> None:
+    """Drop the in-memory schedule cache (the disk cache is untouched)."""
+    _SCHEDULE_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def schedule_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters since the last :func:`clear_schedule_cache`."""
+    return dict(_CACHE_STATS)
 
 
 def _dfg_signature(dfg: Dfg) -> tuple:
@@ -44,6 +90,42 @@ def _dfg_signature(dfg: Dfg) -> tuple:
         sig.append((nid, node.opcode.value, tuple(map(repr, node.srcs)),
                     node.live_out, repr(node.pred), node.pred_negate))
     return tuple(sig)
+
+
+def _disk_cache_path(directory: str, key: tuple) -> str:
+    """Content-addressed file name: SHA-256 of the key's canonical repr."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return os.path.join(directory, digest + ".sched.pkl")
+
+
+def _load_disk_schedule(path: str, key: tuple) -> Optional[ScheduleResult]:
+    """Read one cache file; any corruption reads as a miss, never a crash."""
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, MemoryError, ValueError, TypeError):
+        return None
+    if not isinstance(payload, dict) or payload.get("format") != _DISK_FORMAT:
+        return None
+    # The full key is stored and compared, so a (vanishingly unlikely)
+    # digest collision or a stale file degrades to a recompile.
+    if payload.get("key") != key:
+        return None
+    result = payload.get("result")
+    return result if isinstance(result, ScheduleResult) else None
+
+
+def _store_disk_schedule(path: str, key: tuple, result: ScheduleResult) -> None:
+    """Atomic write (tmp + rename) so readers never see a torn file."""
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "wb") as fh:
+            pickle.dump({"format": _DISK_FORMAT, "key": key, "result": result}, fh)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a read-only or full disk must never fail compilation
 
 
 def _schedule_cached(
@@ -57,7 +139,7 @@ def _schedule_cached(
     trip_reg: Optional[int],
 ) -> ScheduleResult:
     key = (
-        arch.name,
+        arch.fingerprint(),
         _dfg_signature(dfg),
         tuple(sorted(live_in_regs.items())),
         tuple(sorted(live_out_regs.items())),
@@ -66,15 +148,36 @@ def _schedule_cached(
         max_ii,
         seed,
     )
-    if key not in _SCHEDULE_CACHE:
-        scheduler = ModuloScheduler(dfg, arch, max_ii=max_ii, seed=seed)
-        _SCHEDULE_CACHE[key] = scheduler.schedule(
-            live_in_regs=live_in_regs,
-            live_out_regs=live_out_regs,
-            trip_count=static_trip,
-            trip_count_reg=trip_reg,
-        )
-    return _SCHEDULE_CACHE[key]
+    directory = schedule_cache_dir()
+    result = _SCHEDULE_CACHE.get(key)
+    if result is not None:
+        _CACHE_STATS["memory_hits"] += 1
+        # Write-through for caches enabled after the schedule was
+        # computed, so a warm process can still populate the directory.
+        if directory is not None:
+            path = _disk_cache_path(directory, key)
+            if not os.path.exists(path):
+                _store_disk_schedule(path, key, result)
+        return result
+    if directory is not None:
+        path = _disk_cache_path(directory, key)
+        result = _load_disk_schedule(path, key)
+        if result is not None:
+            _CACHE_STATS["disk_hits"] += 1
+            _SCHEDULE_CACHE[key] = result
+            return result
+    _CACHE_STATS["misses"] += 1
+    scheduler = ModuloScheduler(dfg, arch, max_ii=max_ii, seed=seed)
+    result = scheduler.schedule(
+        live_in_regs=live_in_regs,
+        live_out_regs=live_out_regs,
+        trip_count=static_trip,
+        trip_count_reg=trip_reg,
+    )
+    _SCHEDULE_CACHE[key] = result
+    if directory is not None:
+        _store_disk_schedule(_disk_cache_path(directory, key), key, result)
+    return result
 
 
 @dataclass
@@ -135,15 +238,18 @@ class ProgramLinker:
         self,
         dfg: Dfg,
         live_ins: Optional[Dict[str, ValueSource]] = None,
-        trip_count: Union[int, PhysReg, None] = None,
+        trip_count: Union[int, PhysReg, VirtualReg, None] = None,
         max_ii: int = 32,
     ) -> Dict[str, PhysReg]:
         """Compile *dfg*, emit setup glue and the ``cga`` call.
 
-        *live_ins* maps each DFG live-in name to an immediate or an
-        already-populated physical register.  *trip_count* is an int
-        (compile-time trip) or a physical register holding the count.
-        Returns the physical registers that will hold each live-out.
+        *live_ins* maps each DFG live-in name to an immediate, an
+        already-populated physical register, or a virtual register of
+        the *current* glue section (e.g. a parameter word loaded from
+        the scratchpad — the runtime's host-written live-ins).
+        *trip_count* is an int (compile-time trip) or a physical/virtual
+        register holding the count.  Returns the physical registers that
+        will hold each live-out.
         """
         live_ins = dict(live_ins or {})
         missing = [n for n in dfg.live_ins if n not in live_ins]
@@ -156,7 +262,7 @@ class ProgramLinker:
             reg = self._alloc_convention_reg()
             live_in_regs[name] = reg
             value = live_ins[name]
-            if isinstance(value, PhysReg):
+            if isinstance(value, (PhysReg, VirtualReg)):
                 # Register-to-register copies must preserve all 64 bits
                 # (live-ins can be packed SIMD values); the lane add with
                 # zero is the full-width move.
@@ -167,7 +273,7 @@ class ProgramLinker:
 
         trip_reg: Optional[int] = None
         static_trip: Optional[int] = None
-        if isinstance(trip_count, PhysReg):
+        if isinstance(trip_count, (PhysReg, VirtualReg)):
             trip_reg = self._alloc_convention_reg()
             builder.op(Opcode.ADD, trip_count, 0, dst=PhysReg(trip_reg))
         elif trip_count is not None:

@@ -273,8 +273,15 @@ def schedule_vliw(
             loop_regs[0] = regs.fresh_data()
             loop_regs[1] = regs.fresh_pred()
         counter, pred = loop_regs
+        trip = item.trip_count
+        if isinstance(trip, VirtualReg):
+            trip_src = Reg(regs.data_reg(trip))
+        elif isinstance(trip, PhysReg):
+            trip_src = Reg(trip.index)
+        else:
+            trip_src = Imm(int(trip))
         pending.append(
-            Instruction(Opcode.ADD, dst=Reg(counter), srcs=(Imm(0), Imm(item.trip_count)))
+            Instruction(Opcode.ADD, dst=Reg(counter), srcs=(Imm(0), trip_src))
         )
         flush()
         body = [_lower(op, regs, pred_virtuals) for op in item.body]

@@ -49,16 +49,36 @@ def build_fshift_dfg(name: str = "fshift") -> Dfg:
     return kb.finish()
 
 
+#: Distinctive placeholder constants for the template compile of the
+#: recursive-phasor kernel.  They are packed-64-bit values that can
+#: never arise as legitimate immediates of this kernel (phasor words are
+#: Q15 complex pairs; induction inits are small negatives mod 2^64), so
+#: :func:`repro.sim.program.patch_constants` can substitute the real
+#: per-packet step/initial phasor into the configuration words — the
+#: paper's "patch the configuration immediates" flow.
+CFO_STEP_SENTINEL = 0xC0F0_57E9_0C0F_57E9
+CFO_PH0_SENTINEL = 0xC0F0_9A11_0C0F_9A12
+
+
+def cfo_rotate_patch(step_word: int, ph0_word: int) -> dict:
+    """Immediate-patch mapping for a sentinel-compiled cfo_rotate kernel."""
+    return {CFO_STEP_SENTINEL: step_word, CFO_PH0_SENTINEL: ph0_word}
+
+
 def build_cfo_rotate(
-    name: str, step_word: int, ph0_word: int
+    name: str, step_word: int = CFO_STEP_SENTINEL, ph0_word: int = CFO_PH0_SENTINEL
 ) -> Dfg:
-    """Concrete recursive-phasor rotation kernel.
+    """Recursive-phasor rotation kernel.
 
     *step_word* and *ph0_word* are packed 64-bit phasor constants
     (compile-time, like DRESC constant-folding the CFO estimate would
-    when specialising; at run time the paper's code patches the
-    configuration immediates — our linker recompiles, which costs the
-    same configuration-DMA traffic).
+    when specialising).  Left at their sentinel defaults, the kernel is
+    a reusable template: the modulo schedule never depends on immediate
+    values, so the runtime links it once and stamps each packet's
+    constants into the configuration words with
+    :func:`repro.sim.program.patch_constants` /
+    :func:`cfo_rotate_patch` — exactly the paper's configuration
+    patching, and bit-identical to a value-specialised compile.
     """
     kb = KernelBuilder(name)
     src = kb.live_in("src")

@@ -131,7 +131,7 @@ def emit_deinterleave_adc(
     rx_addr: int,
     ant0_addr: int,
     ant1_addr: int,
-    n_pairs: int,
+    n_pairs,
     unroll: int = 2,
 ) -> None:
     """``sample ordering``: split the ADC-interleaved stream per antenna.
@@ -139,16 +139,29 @@ def emit_deinterleave_adc(
     The front end delivers samples interleaved as (a0[k], a1[k]) pairs;
     one 64-bit load fetches a pair, the low half goes to the antenna-0
     buffer and the swapped high half to antenna 1.
+
+    *n_pairs* is a compile-time int, or a register (virtual/physical)
+    holding a positive pair count at run time — the runtime keeps the
+    packet-dependent tail length out of the linked program this way.
+    Register counts require a power-of-two *unroll* (the trip count is
+    derived by shift) and are rounded down to a multiple of *unroll*.
     """
-    if n_pairs % unroll:
-        raise ValueError("unroll must divide the pair count")
+    if isinstance(n_pairs, int):
+        if n_pairs % unroll:
+            raise ValueError("unroll must divide the pair count")
+        trips = n_pairs // unroll
+    else:
+        shift = unroll.bit_length() - 1
+        if unroll != 1 << shift:
+            raise ValueError("register pair counts require a power-of-two unroll")
+        trips = vb.op(Opcode.ASR, n_pairs, shift)
     sp = vb.shared_reg("adc_sp")
     p0 = vb.shared_reg("adc_p0")
     p1 = vb.shared_reg("adc_p1")
     vb.op(Opcode.ADD, 0, rx_addr, dst=sp)
     vb.op(Opcode.ADD, 0, ant0_addr, dst=p0)
     vb.op(Opcode.ADD, 0, ant1_addr, dst=p1)
-    with vb.counted_loop(n_pairs // unroll):
+    with vb.counted_loop(trips):
         for u in range(unroll):
             x = vb.load(Opcode.LD_Q, sp, 2 * u)
             hi = vb.op(Opcode.C4SWAP32, x)

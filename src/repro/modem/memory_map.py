@@ -76,6 +76,12 @@ class MemoryMap:
     LBUF1: int = 0x8E00
     #: Scratch slot for 64-bit materialisation tricks.
     SCRATCH: int = 0x9000
+    #: Host-written per-packet parameter block (32-bit words).  Region
+    #: programs load their packet-dependent values (detection base
+    #: addresses, correlation words, tail loop counts) from here instead
+    #: of baking them in as immediates, so one linked program serves
+    #: every packet of the same shape.
+    PARAM: int = 0x9100
 
     @property
     def ant_delta(self) -> int:

@@ -53,6 +53,7 @@ from repro.kernels.fshift import (
     build_cfo_rotate,
     build_fshift_dfg,
     build_gather_rotate_dfg,
+    cfo_rotate_patch,
     phasor_table_words,
     phasor_table_words32,
     rotate_constants,
@@ -76,8 +77,35 @@ from repro.phy.fixed import q15
 from repro.phy.params import PARAMS_20MHZ_2X2, OfdmParams
 from repro.phy.ofdm import PILOT_POLARITY, PILOT_VALUES
 from repro.sim import Core
+from repro.sim.program import Program, patch_constants
 from repro.sim.stats import ActivityStats, KernelProfile
 from repro.trace.tracer import NULL_TRACER, Tracer
+
+#: Hard floor on packet length: the receiver deinterleaves a 352-pair
+#: sync region and the tail pass needs at least one more sample pair
+#: (shorter inputs would drive the tail loop with a negative count).
+MIN_PACKET_SAMPLES = 354
+
+#: Per-antenna sample-buffer capacity (ANT1 - ANT0 bytes / 4).
+_ANT_CAPACITY = 1024
+
+#: Furthest sample the detection autocorrelation reads past a candidate
+#: position: a 32-sample window at 64-bit granularity plus the 16-sample
+#: lag.
+_ACORR_SPAN = 48
+
+# Parameter-block slot indices (32-bit words at MemoryMap.PARAM).  The
+# host writes these before each region; region programs load them as
+# kernel live-ins / loop bounds, which is what makes the programs pure
+# functions of the packet *shape* and reusable across packets.
+_P_CAND = (0, 1, 2)  # acorr candidate base addresses
+_P_FSHIFT_SRC = 3  # coarse-rotate source (ANT0 + 4*ltf_guess)
+_P_ACORR2_BASE = 4  # fine-acorr base (WORK0 + 4*ltf1_rel)
+_P_CORDIC_X = 5  # fine correlation re (two's complement)
+_P_CORDIC_Y = 6  # fine correlation im
+_P_TAIL_PAIRS = 7  # tail deinterleave pair count (even)
+_P_FSHIFT2_SRC = (8, 9)  # HT-LTF rotate sources per antenna
+_P_DATA_SRC = 10  # data gather source (ANT0 + 4*data_start)
 
 
 @dataclass
@@ -155,32 +183,65 @@ class SimReceiver:
         #: Compact-carrier order: bins 1..28 then 36..63 (runs the
         #: remove-zero-carriers kernel produces).
         self.compact_bins = list(range(1, 29)) + list(range(36, 64))
+        #: Linked region programs (plus their host-visible register
+        #: handles), keyed by (region id, packet shape).  Programs are
+        #: pure functions of (architecture, seed, memory map, OFDM
+        #: params, shape): all packet data reaches them through the
+        #: scratchpad image — notably the parameter block — or through
+        #: configuration-immediate patching, so one link serves every
+        #: packet of the same shape (the paper's compile-once flow).
+        self._region_programs: Dict[tuple, Tuple[Program, Dict[str, object]]] = {}
+
+    @property
+    def compiled_programs(self) -> int:
+        """Number of region programs linked so far (compile-once cache)."""
+        return len(self._region_programs)
 
     # ------------------------------------------------------------------
     # Region execution machinery.
     # ------------------------------------------------------------------
+
+    def _region_program(
+        self,
+        rid: tuple,
+        name: str,
+        build: Callable[[ProgramLinker], Dict[str, object]],
+    ) -> Tuple[Program, Dict[str, object]]:
+        cached = self._region_programs.get(rid)
+        if cached is None:
+            linker = ProgramLinker(self.arch, name=name, seed=self.seed)
+            handles = build(linker) or {}
+            cached = (linker.link(), handles)
+            self._region_programs[rid] = cached
+        return cached
 
     def _run_region(
         self,
         name: str,
         image: bytearray,
         build: Callable[[ProgramLinker], Dict[str, object]],
+        key: tuple = (),
+        patch: Optional[Dict[int, int]] = None,
     ) -> Tuple[RegionRun, bytearray]:
         tracer = self.tracer
-        linker = ProgramLinker(self.arch, name=name, seed=self.seed)
-        handles = build(linker) or {}
-        program = linker.link()
+        program, handles = self._region_program((name,) + key, name, build)
+        if patch:
+            program = patch_constants(program, patch)
         core = Core(self.arch, program, tracer=tracer, interpreter=self.interpreter)
         core.scratchpad._mem[:] = image
         # Setup (config DMA, I$ warm-up) is excluded from the trace the
-        # same way it is excluded from the steady-state measurement.
+        # same way it is excluded from the steady-state measurement; the
+        # try/finally guarantees a fault during setup cannot leave the
+        # caller's tracer permanently disabled.
         was_enabled = tracer.enabled
         tracer.enabled = False
-        core.load_configuration()
-        # Warm the I$ (steady-state measurement), then reset counters.
-        for pc in range(len(program.bundles)):
-            core.icache.fetch(pc)
-        tracer.enabled = was_enabled
+        try:
+            core.load_configuration()
+            # Warm the I$ (steady-state measurement), then reset counters.
+            for pc in range(len(program.bundles)):
+                core.icache.fetch(pc)
+        finally:
+            tracer.enabled = was_enabled
         before = core.stats.snapshot()
         core.run()
         delta = core.stats.delta_since(before).validate()
@@ -188,9 +249,9 @@ class SimReceiver:
             tracer.complete(name, 0, delta.total_cycles, cat="region")
             tracer.advance_base(delta.total_cycles)
         outputs = {}
-        for key, handle in handles.items():
+        for out_name, handle in handles.items():
             if isinstance(handle, PhysReg):
-                outputs[key] = core.cdrf.peek(handle.index)
+                outputs[out_name] = core.cdrf.peek(handle.index)
         run = RegionRun(name, KernelProfile(name, delta), outputs)
         return run, bytearray(core.scratchpad._mem)
 
@@ -203,6 +264,15 @@ class SimReceiver:
             image[addr + size * k : addr + size * (k + 1)] = int(w).to_bytes(
                 size, "little"
             )
+
+    def _write_param(self, image: bytearray, slot: int, value: int) -> None:
+        """Host-write one packet parameter word (the runtime live-ins)."""
+        self._write_words(image, self.mem.PARAM + 4 * slot, [int(value) & 0xFFFFFFFF])
+
+    def _load_param(self, vb, slot: int):
+        """Glue: load one parameter word into a register of *vb*'s section."""
+        base = vb.mov_imm(self.mem.PARAM)
+        return vb.load(Opcode.LD_I, base, slot)
 
     def _ltf_ref_words(self) -> List[int]:
         """Packed Q15 LTF reference (64 samples -> 32 words)."""
@@ -293,6 +363,28 @@ class SimReceiver:
         fs = self.params.sample_rate_hz
         rx = np.atleast_2d(np.asarray(rx, dtype=np.complex128))
         n_samples = rx.shape[1]
+        detect_hint = 32 if detect_hint is None else int(detect_hint)
+        if n_samples < MIN_PACKET_SAMPLES:
+            raise ValueError(
+                "packet too short: %d samples; the receive pipeline needs at "
+                "least %d (the 352-pair STF/LTF sync region plus one tail "
+                "sample pair)" % (n_samples, MIN_PACKET_SAMPLES)
+            )
+        if n_samples > _ANT_CAPACITY:
+            raise ValueError(
+                "packet too long: %d samples exceed the %d-sample antenna "
+                "buffers" % (n_samples, _ANT_CAPACITY)
+            )
+        n_sync = min(352, n_samples)
+        max_hint = n_sync - 16 - _ACORR_SPAN
+        if not 0 <= detect_hint <= max_hint:
+            raise ValueError(
+                "detect_hint %d out of range 0..%d: the candidate "
+                "autocorrelation windows read up to detect_hint + %d samples "
+                "of the %d-sample deinterleaved sync region"
+                % (detect_hint, max_hint, 16 + _ACORR_SPAN, n_sync)
+            )
+        shape = (n_samples, n_symbols)
         rx_re, rx_im = q15(rx.real), q15(rx.imag)
 
         image = bytearray(self.arch.l1.bytes)
@@ -305,7 +397,6 @@ class SimReceiver:
         self._write_twiddles(image)
 
         pre: List[RegionRun] = []
-        detect_hint = 32 if detect_hint is None else detect_hint
 
         # -- non-kernel: program setup glue --------------------------------
         def build_init(linker):
@@ -314,31 +405,32 @@ class SimReceiver:
             vb.op(Opcode.ADD, 0, n_symbols, dst=PhysReg(41))
             return {}
 
-        run, image = self._run_region("non-kernel code", image, build_init)
+        run, image = self._run_region("non-kernel code", image, build_init, key=shape)
         pre.append(run)
 
         # -- sample ordering: deinterleave the sync region ------------------
-        n_sync = min(352, n_samples)
-
         def build_order(linker):
             vliw_kernels.emit_deinterleave_adc(
                 linker.vliw(), mem.RXIN, mem.ANT0, mem.ANT1, n_sync, unroll=2
             )
             return {}
 
-        run, image = self._run_region("sample ordering", image, build_order)
+        run, image = self._run_region("sample ordering", image, build_order, key=shape)
         pre.append(run)
 
         # -- acorr: packet detection (3 candidates) -------------------------
         window = 32
         candidates = [max(0, detect_hint - 16), detect_hint, detect_hint + 16]
+        for ci, pos in enumerate(candidates):
+            self._write_param(image, _P_CAND[ci], mem.ANT0 + 4 * pos)
 
         def build_acorr(linker):
             handles = {}
-            for ci, pos in enumerate(candidates):
+            for ci in range(len(_P_CAND)):
+                base_r = self._load_param(linker.vliw(), _P_CAND[ci])
                 outs = linker.call_kernel(
                     build_acorr_dfg(lag_samples=16, name="acorr_p%d" % ci),
-                    live_ins={"base": mem.ANT0 + 4 * pos},
+                    live_ins={"base": base_r},
                     trip_count=window // 2,
                 )
                 vb = linker.vliw()
@@ -353,7 +445,7 @@ class SimReceiver:
                 handles["energy%d" % ci] = outs["energy"]
             return handles
 
-        run, image = self._run_region("acorr", image, build_acorr)
+        run, image = self._run_region("acorr", image, build_acorr, key=("detect",) + shape)
         pre.append(run)
         # Host: pick the first candidate whose correlation magnitude
         # clears the threshold, then derive the coarse CFO from its
@@ -381,10 +473,11 @@ class SimReceiver:
         n_rot = 192
 
         def build_fshift1(linker):
+            src_r = self._load_param(linker.vliw(), _P_FSHIFT_SRC)
             linker.call_kernel(
                 build_fshift_dfg("fshift"),
                 live_ins={
-                    "src": mem.ANT0 + 4 * ltf_guess,
+                    "src": src_r,
                     "dst": mem.WORK0,
                     "tab": mem.PHTAB,
                 },
@@ -394,7 +487,8 @@ class SimReceiver:
 
         table = phasor_table_words(-coarse_cfo, fs, n_rot, start_sample=ltf_guess)
         self._write_words(image, mem.PHTAB, table, size=8)
-        run, image = self._run_region("fshift", image, build_fshift1)
+        self._write_param(image, _P_FSHIFT_SRC, mem.ANT0 + 4 * ltf_guess)
+        run, image = self._run_region("fshift", image, build_fshift1, key=("ltf",) + shape)
         pre.append(run)
 
         # -- xcorr: timing (4 even candidates around the expected LTF) ------
@@ -425,7 +519,7 @@ class SimReceiver:
                 linker.release(outs)
             return {}
 
-        run, image = self._run_region("xcorr", image, build_xcorr)
+        run, image = self._run_region("xcorr", image, build_xcorr, key=shape)
         pre.append(run)
         mags = []
         for ci in range(len(xc_candidates)):
@@ -438,9 +532,10 @@ class SimReceiver:
 
         # -- acorr (fine CFO correlation over the repeated long symbol) -----
         def build_acorr2(linker):
+            base_r = self._load_param(linker.vliw(), _P_ACORR2_BASE)
             outs = linker.call_kernel(
                 build_acorr_dfg(lag_samples=64, name="acorr_fine", acc_shift=2),
-                live_ins={"base": mem.WORK0 + 4 * ltf1_rel},
+                live_ins={"base": base_r},
                 trip_count=32,
             )
             vb = linker.vliw()
@@ -448,7 +543,8 @@ class SimReceiver:
             vliw_kernels.emit_lane_reduce_mag(vb, outs["corr"], re_r, im_r, PhysReg(44))
             return {"corr": outs["corr"], "re": re_r, "im": im_r}
 
-        run, image = self._run_region("acorr", image, build_acorr2)
+        self._write_param(image, _P_ACORR2_BASE, mem.WORK0 + 4 * ltf1_rel)
+        run, image = self._run_region("acorr", image, build_acorr2, key=("fine",) + shape)
         pre.append(run)
 
         # -- freq offset estimation: CORDIC on the array --------------------
@@ -457,8 +553,8 @@ class SimReceiver:
         def build_freqest(linker):
             vb = linker.vliw()
             x_r, y_r = PhysReg(40), PhysReg(41)
-            vb.op(Opcode.ADD, 0, to_signed(fine_in[0], 32), dst=x_r)
-            vb.op(Opcode.ADD, 0, to_signed(fine_in[1], 32), dst=y_r)
+            vb.op(Opcode.LD_I, vb.mov_imm(mem.PARAM), _P_CORDIC_X, dst=x_r)
+            vb.op(Opcode.LD_I, vb.mov_imm(mem.PARAM), _P_CORDIC_Y, dst=y_r)
             outs = linker.call_kernel(
                 build_cordic_dfg(iterations=14),
                 live_ins={"tab": mem.ATAN, "x0": x_r, "y0": y_r},
@@ -466,7 +562,11 @@ class SimReceiver:
             )
             return {"angle": outs["angle"]}
 
-        run, image = self._run_region("freq offset estimation", image, build_freqest)
+        self._write_param(image, _P_CORDIC_X, to_signed(fine_in[0], 32))
+        self._write_param(image, _P_CORDIC_Y, to_signed(fine_in[1], 32))
+        run, image = self._run_region(
+            "freq offset estimation", image, build_freqest, key=shape
+        )
         pre.append(run)
         fine_angle = to_signed(run.outputs["angle"], 32)
         fine_cfo = angle_q16_to_hz(fine_angle, 64, fs)
@@ -476,28 +576,30 @@ class SimReceiver:
         n_tail_pairs = min(n_samples, ht_start + 160 + 80 * n_symbols) - 352
 
         def build_reorder2(linker):
+            vb = linker.vliw()
+            n_pairs_r = self._load_param(vb, _P_TAIL_PAIRS)
             vliw_kernels.emit_deinterleave_adc(
-                linker.vliw(),
+                vb,
                 mem.RXIN + 8 * 352,
                 mem.ANT0 + 4 * 352,
                 mem.ANT1 + 4 * 352,
-                (n_tail_pairs // 2) * 2,
+                n_pairs_r,
                 unroll=2,
             )
             return {}
 
-        run, image = self._run_region("sample reordering", image, build_reorder2)
+        self._write_param(image, _P_TAIL_PAIRS, (n_tail_pairs // 2) * 2)
+        run, image = self._run_region("sample reordering", image, build_reorder2, key=shape)
         pre.append(run)
 
         # -- fshift: coarse rotate of both antennas' HT-LTF region ----------
         def build_fshift2(linker):
-            for ant, (src, dst) in enumerate(
-                [(mem.ANT0, mem.WORK0), (mem.ANT1, mem.WORK1)]
-            ):
+            for ant, dst in enumerate([mem.WORK0, mem.WORK1]):
+                src_r = self._load_param(linker.vliw(), _P_FSHIFT2_SRC[ant])
                 linker.call_kernel(
                     build_fshift_dfg("fshift_ht_a%d" % ant),
                     live_ins={
-                        "src": src + 4 * ht_start,
+                        "src": src_r,
                         "dst": dst,
                         "tab": mem.PHTAB,
                     },
@@ -507,24 +609,34 @@ class SimReceiver:
 
         table = phasor_table_words(-coarse_cfo, fs, 160, start_sample=ht_start)
         self._write_words(image, mem.PHTAB, table, size=8)
-        run, image = self._run_region("fshift", image, build_fshift2)
+        for ant, src in enumerate([mem.ANT0, mem.ANT1]):
+            self._write_param(image, _P_FSHIFT2_SRC[ant], src + 4 * ht_start)
+        run, image = self._run_region("fshift", image, build_fshift2, key=("ht",) + shape)
         pre.append(run)
 
         # -- freq offset compensation: fine recursive rotate ----------------
         step_w, ph0_w = rotate_constants(-fine_cfo, fs, start_sample=ht_start)
 
         def build_freqcomp(linker):
+            # Sentinel-compiled template: the packet's step/initial
+            # phasors are stamped in with patch_constants at run time.
             for ant, (src, dst) in enumerate(
                 [(mem.WORK0, mem.CORR0), (mem.WORK1, mem.CORR1)]
             ):
                 linker.call_kernel(
-                    build_cfo_rotate("cfo_rot_a%d" % ant, step_w, ph0_w),
+                    build_cfo_rotate("cfo_rot_a%d" % ant),
                     live_ins={"src": src, "dst": dst},
                     trip_count=80,
                 )
             return {}
 
-        run, image = self._run_region("freq offset compensation", image, build_freqcomp)
+        run, image = self._run_region(
+            "freq offset compensation",
+            image,
+            build_freqcomp,
+            key=shape,
+            patch=cfo_rotate_patch(step_w, ph0_w),
+        )
         pre.append(run)
 
         # -- fft: the four HT-LTF spectra (two loop-merged pair calls) ------
@@ -548,7 +660,7 @@ class SimReceiver:
                 self._emit_fft_stages(linker, dst)
             return {}
 
-        run, image = self._run_region("fft", image, build_fft_pre)
+        run, image = self._run_region("fft", image, build_fft_pre, key=("pre",) + shape)
         pre.append(run)
 
         # -- remove zero carriers: compact the four spectra ------------------
@@ -566,7 +678,7 @@ class SimReceiver:
                 vliw_kernels.emit_remove_zero_carriers(vb, grid, comp)
             return {}
 
-        run, image = self._run_region("remove zero carriers", image, build_rzc)
+        run, image = self._run_region("remove zero carriers", image, build_rzc, key=shape)
         pre.append(run)
 
         # -- SDM processing (preamble): P-matrix channel combining -----------
@@ -586,7 +698,9 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("SDM processing", image, build_chanest)
+        run, image = self._run_region(
+            "SDM processing", image, build_chanest, key=("pre",) + shape
+        )
         pre.append(run)
 
         # -- equalize coeff calc ---------------------------------------------
@@ -598,7 +712,9 @@ class SimReceiver:
             )
             return {}
 
-        run, image = self._run_region("equalize coeff calc", image, build_eqcoef)
+        run, image = self._run_region(
+            "equalize coeff calc", image, build_eqcoef, key=shape
+        )
         pre.append(run)
 
         # ==================== data phase (one symbol pair) ==================
@@ -625,6 +741,7 @@ class SimReceiver:
 
         def build_data_fshift(linker):
             for sym in range(n_symbols):
+                src_r = self._load_param(linker.vliw(), _P_DATA_SRC)
                 linker.call_kernel(
                     build_gather_rotate_dfg(
                         "gather_rotate_s%d" % sym,
@@ -632,7 +749,7 @@ class SimReceiver:
                         delta_dst=mem.fft_pair_delta,
                     ),
                     live_ins={
-                        "src": mem.ANT0 + 4 * data_start,
+                        "src": src_r,
                         "dst": mem.FFT0 if sym == 0 else mem.FFT2,
                         "tab": mem.GTAB0 if sym == 0 else mem.GTAB1,
                         "ph": mem.PHTAB32 + 0x100 * sym,
@@ -641,7 +758,10 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("fshift", image, build_data_fshift)
+        self._write_param(image, _P_DATA_SRC, mem.ANT0 + 4 * data_start)
+        run, image = self._run_region(
+            "fshift", image, build_data_fshift, key=("data",) + shape
+        )
         data.append(run)
 
         # -- fft ---------------------------------------------------------------
@@ -650,7 +770,9 @@ class SimReceiver:
                 self._emit_fft_stages(linker, mem.FFT0 if sym == 0 else mem.FFT2)
             return {}
 
-        run, image = self._run_region("fft", image, build_data_fft)
+        run, image = self._run_region(
+            "fft", image, build_data_fft, key=("data",) + shape
+        )
         data.append(run)
 
         # -- data shuffle: per-carrier Y vectors --------------------------------
@@ -669,7 +791,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("data shuffle", image, build_shuffle)
+        run, image = self._run_region("data shuffle", image, build_shuffle, key=shape)
         data.append(run)
 
         # -- SDM processing ------------------------------------------------------
@@ -686,7 +808,9 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("SDM processing", image, build_data_sdm)
+        run, image = self._run_region(
+            "SDM processing", image, build_data_sdm, key=("data",) + shape
+        )
         data.append(run)
 
         # -- tracking: pilot CPE phasors (one per symbol) -------------------------
@@ -709,7 +833,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("tracking", image, build_tracking)
+        run, image = self._run_region("tracking", image, build_tracking, key=shape)
         data.append(run)
 
         # -- comp: CPE rotation + rescale to Q15/2 --------------------------------
@@ -731,7 +855,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("comp", image, build_comp)
+        run, image = self._run_region("comp", image, build_comp, key=shape)
         data.append(run)
 
         # -- demod QAM64 --------------------------------------------------------------
@@ -747,7 +871,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("demod QAM64", image, build_demod)
+        run, image = self._run_region("demod QAM64", image, build_demod, key=shape)
         data.append(run)
 
         bits = self._unpack_bits(image, n_symbols)

@@ -1,0 +1,23 @@
+"""Compile-once / run-many execution layer over the simulated modem.
+
+The paper's toolflow separates compilation (DRESC modulo scheduling,
+linking) from execution: a baseband program is compiled once per
+architecture and parameter set, and the control processor then streams
+packets through the resident configuration, patching only the
+packet-dependent constants.  :class:`ModemRuntime` and
+:class:`BatchReceiver` reproduce that split on top of
+:class:`repro.modem.receiver.SimReceiver`, whose region programs are
+pure functions of (architecture, seed, memory map, OFDM params, packet
+shape).
+"""
+
+from repro.runtime.batch import BatchReceiver, ModemRuntime
+from repro.runtime.workload import PacketCase, generate_packets, make_packet
+
+__all__ = [
+    "BatchReceiver",
+    "ModemRuntime",
+    "PacketCase",
+    "generate_packets",
+    "make_packet",
+]

@@ -32,7 +32,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import Imm, Instruction
 from repro.isa.opcodes import Opcode
 
 
@@ -240,3 +240,89 @@ class Program:
             if kernel.name == name:
                 return kernel
         raise KeyError(name)
+
+
+def patch_constants(program: Program, mapping: Dict[int, int]) -> Program:
+    """Clone *program* with selected immediates replaced.
+
+    *mapping* maps sentinel immediate values to their replacements, in
+    CGA configuration words (``IMM`` source selections and phi ``init``
+    immediates) and VLIW instruction operands alike.  This is the
+    configuration-patching step of the paper's toolflow: a kernel is
+    compiled once against distinctive placeholder constants and the
+    per-packet values are written into the configuration immediates
+    before launch, which cannot perturb the schedule because operation
+    placement and routing never depend on immediate *values*.
+
+    The input program is not modified; untouched kernels and bundles are
+    shared between the clone and the original.
+    """
+    if not mapping:
+        return program
+
+    def patch_src(sel: Optional[SrcSel]) -> Optional[SrcSel]:
+        if sel is None:
+            return None
+        value = sel.value
+        if sel.kind is SrcKind.IMM and value in mapping:
+            value = mapping[value]
+        init = sel.init
+        if init is not None and init in mapping:
+            init = mapping[init]
+        if value == sel.value and init == sel.init:
+            return sel
+        return SrcSel(sel.kind, value, init)
+
+    kernels: Dict[int, CgaKernel] = {}
+    for kid, kernel in program.kernels.items():
+        changed = False
+        contexts: List[CgaContext] = []
+        for ctx in kernel.contexts:
+            ops: Dict[int, CgaOp] = {}
+            for fu, op in ctx.ops.items():
+                srcs = tuple(patch_src(s) for s in op.srcs)
+                pred = patch_src(op.pred)
+                if srcs != op.srcs or pred != op.pred:
+                    changed = True
+                    op = CgaOp(op.opcode, srcs, op.dsts, op.stage, pred, op.pred_negate)
+                ops[fu] = op
+            contexts.append(CgaContext(ops))
+        if changed:
+            kernels[kid] = CgaKernel(
+                name=kernel.name,
+                ii=kernel.ii,
+                stage_count=kernel.stage_count,
+                contexts=contexts,
+                trip_count=kernel.trip_count,
+                trip_count_reg=kernel.trip_count_reg,
+                preloads=list(kernel.preloads),
+            )
+        else:
+            kernels[kid] = kernel
+
+    bundles: List[VliwBundle] = []
+    for bundle in program.bundles:
+        slots = []
+        changed = False
+        for inst in bundle.slots:
+            if inst is not None and any(
+                isinstance(s, Imm) and s.value in mapping for s in inst.srcs
+            ):
+                changed = True
+                srcs = tuple(
+                    Imm(mapping[s.value])
+                    if isinstance(s, Imm) and s.value in mapping
+                    else s
+                    for s in inst.srcs
+                )
+                inst = Instruction(
+                    inst.opcode,
+                    dst=inst.dst,
+                    srcs=srcs,
+                    pred=inst.pred,
+                    pred_negate=inst.pred_negate,
+                )
+            slots.append(inst)
+        bundles.append(VliwBundle(tuple(slots)) if changed else bundle)
+
+    return Program(bundles=bundles, kernels=kernels, name=program.name)

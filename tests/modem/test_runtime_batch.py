@@ -1,0 +1,131 @@
+"""Batch runtime tests: bit-identity, throughput, pool and disk cache."""
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compiler.linker import _SCHEDULE_CACHE, configure_schedule_cache
+from repro.modem.receiver import SimReceiver
+from repro.runtime import BatchReceiver, ModemRuntime, generate_packets
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return generate_packets(8, base_seed=42, cfo_hz=50e3)
+
+
+def _assert_outputs_identical(a, b):
+    """Full bit-identity: decoded payload, estimates, cycles, stats."""
+    assert list(a.bits) == list(b.bits)
+    assert a.detect_pos == b.detect_pos
+    assert a.ltf1_start == b.ltf1_start
+    assert a.coarse_cfo_hz == b.coarse_cfo_hz
+    assert a.fine_cfo_hz == b.fine_cfo_hz
+    regions_a = a.preamble_regions + a.data_regions
+    regions_b = b.preamble_regions + b.data_regions
+    assert [r.name for r in regions_a] == [r.name for r in regions_b]
+    for ra, rb in zip(regions_a, regions_b):
+        assert ra.profile.cycles == rb.profile.cycles, ra.name
+        assert ra.outputs == rb.outputs, ra.name
+    assert a.stats == b.stats
+    assert a.image == b.image
+
+
+def test_batch_bit_identical_to_per_packet_receivers(cases):
+    subset = cases[:3]
+    batch = BatchReceiver()
+    batched = batch.run([case.rx for case in subset])
+    assert len(batched) == len(subset)
+    # The batch relinked nothing after the first packet: one program set.
+    programs_after_first = batch.runtime.compiled_programs
+    for out, case in zip(batched, subset):
+        assert float(np.mean(out.bits != case.bits)) == 0.0
+    assert batch.runtime.compiled_programs == programs_after_first
+    for out, case in zip(batched, subset):
+        solo = SimReceiver().run_packet(case.rx)
+        _assert_outputs_identical(out, solo)
+
+
+def test_fork_pool_matches_serial(cases):
+    subset = [case.rx for case in cases[:2]]
+    serial = BatchReceiver(workers=1).run(subset)
+    pooled = BatchReceiver(workers=2).run(subset)
+    assert len(pooled) == 2
+    for a, b in zip(serial, pooled):
+        _assert_outputs_identical(a, b)
+
+
+def test_batch_8_packets_at_least_5x_faster_than_cold_runs(cases):
+    """The headline acceptance: one warm batch beats 8 cold compiles."""
+    saved = dict(_SCHEDULE_CACHE)
+    _SCHEDULE_CACHE.clear()
+    try:
+        t0 = time.perf_counter()
+        cold_out = SimReceiver().run_packet(cases[0].rx)
+        t_cold = time.perf_counter() - t0
+    finally:
+        _SCHEDULE_CACHE.update(saved)
+    assert float(np.mean(cold_out.bits != cases[0].bits)) == 0.0
+
+    batch = BatchReceiver()
+    t0 = time.perf_counter()
+    outputs = batch.run([case.rx for case in cases])
+    t_batch = time.perf_counter() - t0
+    assert len(outputs) == len(cases)
+    for out, case in zip(outputs, cases):
+        assert float(np.mean(out.bits != case.bits)) == 0.0
+    # 8 cold per-packet runs would cost ~8 * t_cold; the batch must be
+    # at least 5x cheaper end-to-end (it is ~40x in practice).
+    assert len(cases) * t_cold >= 5 * t_batch, (t_cold, t_batch)
+
+
+def test_fresh_process_with_warm_disk_cache_never_schedules(tmp_path, cases):
+    """ISSUE acceptance: a warm on-disk cache eliminates every
+    ModuloScheduler.schedule call in a fresh process."""
+    configure_schedule_cache(str(tmp_path))
+    try:
+        # The in-memory cache is warm from the earlier tests; running one
+        # packet write-throughs every schedule into the directory.
+        ModemRuntime().run_packet(cases[0].rx)
+    finally:
+        configure_schedule_cache(None)
+    assert list(tmp_path.glob("*.sched.pkl"))
+
+    script = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.compiler import modulo
+
+        def _poisoned(self, *args, **kwargs):
+            raise AssertionError("ModuloScheduler.schedule ran despite warm disk cache")
+
+        modulo.ModuloScheduler.schedule = _poisoned
+
+        from repro.runtime import ModemRuntime, make_packet
+
+        case = make_packet(42, cfo_hz=50e3)
+        out = ModemRuntime().run_packet(case.rx)
+        assert float(np.mean(out.bits != case.bits)) == 0.0
+        print("DISK_WARM_OK", out.ltf1_start)
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR
+    env["REPRO_SCHEDULE_CACHE"] = str(tmp_path)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "DISK_WARM_OK" in proc.stdout

@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Fabric scale-out: packets/s and latency vs worker count.
+
+Runs the same packet batch three ways:
+
+* a **serial baseline** on one warm :class:`~repro.runtime.ModemRuntime`
+  (per-packet wall times feed the latency percentiles);
+* a :class:`~repro.fabric.Fabric` at each ``--workers-list`` count, every
+  worker forked from the same warm parent template (so spin-up performs
+  zero ``ModuloScheduler.schedule`` calls — asserted from the report).
+
+Every fabric output is checked bit-identical against the serial run.
+The ``--min-speedup`` floor (default 3.0, the ISSUE acceptance bar for
+4 workers) is enforced only when the host actually has at least as many
+CPU cores as the largest worker count; on smaller hosts the bench
+records the measured speedup and prints a SKIP note instead, since
+forked workers time-slicing one core cannot scale.
+
+Writes ``BENCH_fabric_scaling.json`` through
+``reporting.write_bench_report`` and validates it against
+``fabric_scaling.schema.json``; exit status 0 on success.
+
+Run:  PYTHONPATH=src python benchmarks/bench_fabric_scaling.py \\
+          [--packets N] [--workers-list 1,2,4] [--cache DIR] [--out DIR]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
+
+import numpy as np
+
+import reporting
+from repro.compiler.linker import schedule_cache_stats
+from repro.fabric import Fabric
+from repro.runtime import ModemRuntime, generate_packets
+from repro.sim.stats import ActivityStats
+from repro.trace import schema_errors
+
+
+def _identical(fabric_out, serial_out) -> bool:
+    return (
+        list(fabric_out.bits) == list(serial_out.bits)
+        and fabric_out.detect_pos == serial_out.detect_pos
+        and fabric_out.stats == serial_out.stats
+        and fabric_out.image == serial_out.image
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--packets", type=int, default=8, metavar="N", help="batch size (default 8)"
+    )
+    parser.add_argument(
+        "--workers-list",
+        default="1,2,4",
+        metavar="N,N,...",
+        help="fabric sizes to sweep (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="persistent schedule-cache directory (default $REPRO_SCHEDULE_CACHE)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR", help="report directory (default benchmarks/out)"
+    )
+    parser.add_argument("--cfo", type=float, default=50e3, help="carrier offset in Hz")
+    parser.add_argument("--seed", type=int, default=42, help="base packet seed")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required best-fabric speedup over serial when the host has "
+        "enough cores (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.packets < 1:
+        parser.error("--packets must be >= 1")
+    try:
+        worker_counts = sorted({int(n) for n in args.workers_list.split(",")})
+    except ValueError:
+        parser.error("--workers-list must be comma-separated integers")
+    if not worker_counts or min(worker_counts) < 1:
+        parser.error("--workers-list entries must be >= 1")
+
+    cases = generate_packets(args.packets, base_seed=args.seed, cfo_hz=args.cfo)
+
+    template = ModemRuntime(cache_dir=args.cache)
+    t0 = time.perf_counter()
+    template.warm_up(cases[0].rx)
+    warmup_wall = time.perf_counter() - t0
+    print(
+        "warm-up: linked %d region programs in %.2fs (schedule cache: %s)"
+        % (template.compiled_programs, warmup_wall, schedule_cache_stats())
+    )
+
+    # Serial baseline on the warm template: the reference outputs and the
+    # denominator of every speedup below.
+    serial_outputs = []
+    serial_timings = []
+    t0 = time.perf_counter()
+    for case in cases:
+        t_pkt = time.perf_counter()
+        serial_outputs.append(template.run_packet(case.rx))
+        serial_timings.append(time.perf_counter() - t_pkt)
+    serial_wall = time.perf_counter() - t0
+    serial_pps = len(cases) / serial_wall
+    merged = ActivityStats()
+    for out in serial_outputs:
+        merged.merge(out.stats)
+    bers = [
+        float(np.mean(out.bits != case.bits))
+        for out, case in zip(serial_outputs, cases)
+    ]
+    if any(ber != 0.0 for ber in bers):
+        print("FAIL: nonzero serial BER on clean channel: %r" % bers, file=sys.stderr)
+        return 1
+    print(
+        "serial baseline: %d packets in %.2fs -> %.2f packets/s"
+        % (len(cases), serial_wall, serial_pps)
+    )
+
+    bit_identical = True
+    scaling = []
+    sweep_t0 = time.perf_counter()
+    for n_workers in worker_counts:
+        fab = Fabric(
+            workers=n_workers,
+            template_runtime=template,
+            cache_dir=args.cache,
+            queue_depth=max(4, args.packets),
+            name="bench-%dw" % n_workers,
+        )
+        with fab:
+            t0 = time.perf_counter()
+            ids = [fab.submit(case.rx) for case in cases]
+            results = fab.drain(timeout=600)
+            wall = time.perf_counter() - t0
+            report = fab.report()
+        for task_id, serial_out in zip(ids, serial_outputs):
+            if not _identical(results[task_id], serial_out):
+                bit_identical = False
+                print(
+                    "FAIL: task %d differs from serial output (workers=%d)"
+                    % (task_id, n_workers),
+                    file=sys.stderr,
+                )
+        misses = sum(
+            w["spinup_schedule_misses"] or 0 for w in report["per_worker"]
+        )
+        pps = len(cases) / wall
+        entry = {
+            "workers": n_workers,
+            "packets_per_sec": round(pps, 3),
+            "wall_s": round(wall, 6),
+            "speedup": round(pps / serial_pps, 3),
+            "latency_s": {
+                k: round(v, 6)
+                for k, v in report["latency_s"].items()
+                if k in ("p50", "p95", "p99")
+            },
+            "worker_crashes": report["counters"]["worker_crashes"],
+            "spinup_schedule_misses": misses,
+        }
+        scaling.append(entry)
+        print(
+            "%d worker(s): %.2fs -> %.2f packets/s (speedup %.2fx, "
+            "p95 latency %.3fs, spin-up schedule misses %d)"
+            % (
+                n_workers,
+                wall,
+                pps,
+                entry["speedup"],
+                entry["latency_s"]["p95"],
+                misses,
+            )
+        )
+        if misses:
+            print(
+                "FAIL: forked workers scheduled %d regions at spin-up" % misses,
+                file=sys.stderr,
+            )
+            return 1
+    sweep_wall = time.perf_counter() - sweep_t0
+
+    if not bit_identical:
+        return 1
+
+    cpu_count = os.cpu_count() or 1
+    best_speedup = max(entry["speedup"] for entry in scaling)
+    enforce = cpu_count >= max(worker_counts)
+    if enforce:
+        if best_speedup < args.min_speedup:
+            print(
+                "FAIL: best speedup %.2fx < required %.2fx on a %d-core host"
+                % (best_speedup, args.min_speedup, cpu_count),
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print(
+            "SKIP speedup floor: host has %d core(s) < %d workers; forked "
+            "workers time-slice one core (best measured %.2fx)"
+            % (cpu_count, max(worker_counts), best_speedup)
+        )
+
+    extra = {
+        "packets": len(cases),
+        "cpu_count": cpu_count,
+        "bit_identical": bit_identical,
+        "cache_dir": args.cache,
+        "min_speedup": args.min_speedup,
+        "best_speedup": best_speedup,
+        "speedup_enforced": enforce,
+        "serial": {
+            "packets_per_sec": round(serial_pps, 3),
+            "wall_s": round(serial_wall, 6),
+            "latency_s": {
+                k: round(v, 6)
+                for k, v in reporting.latency_percentiles(serial_timings).items()
+            },
+        },
+        "scaling": scaling,
+    }
+    path = reporting.write_bench_report(
+        "fabric_scaling",
+        out_dir=args.out,
+        wall_s=serial_wall + sweep_wall,
+        stats=merged,
+        extra=extra,
+    )
+    with open(path) as fh:
+        report = json.load(fh)
+    with open(os.path.join(_HERE, "fabric_scaling.schema.json")) as fh:
+        schema = json.load(fh)
+    errors = schema_errors(report, schema)
+    if errors:
+        print("FAIL: %s violates fabric_scaling.schema.json:" % path, file=sys.stderr)
+        for err in errors:
+            print("  " + err, file=sys.stderr)
+        return 1
+    print("wrote %s (schema ok)" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

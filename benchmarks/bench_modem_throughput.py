@@ -73,7 +73,7 @@ def main(argv=None) -> int:
     )
 
     t0 = time.perf_counter()
-    outputs = batch.run([case.rx for case in cases])
+    outputs, timings = batch.run_timed([case.rx for case in cases])
     wall = time.perf_counter() - t0
 
     bers = [
@@ -83,9 +83,14 @@ def main(argv=None) -> int:
     for out in outputs:
         merged.merge(out.stats)
     pps = len(outputs) / wall
+    latency = reporting.latency_percentiles(timings)
     print(
         "%d packets x %d workers: %.2fs -> %.2f packets/s (mean ber %g)"
         % (len(outputs), args.workers, wall, pps, float(np.mean(bers)))
+    )
+    print(
+        "per-packet latency: p50 %.3fs  p95 %.3fs  p99 %.3fs"
+        % (latency["p50"], latency["p95"], latency["p99"])
     )
     if len(outputs) != len(cases):
         print("FAIL: %d/%d packets returned" % (len(outputs), len(cases)), file=sys.stderr)
@@ -98,6 +103,7 @@ def main(argv=None) -> int:
         "packets": len(outputs),
         "workers": args.workers,
         "packets_per_sec": round(pps, 3),
+        "latency_s": {k: round(v, 6) for k, v in latency.items()},
         "warmup_wall_s": round(warmup_wall, 6),
         "mean_ber": float(np.mean(bers)),
         "compiled_programs": runtime.compiled_programs,

@@ -17,6 +17,23 @@ import time
 from datetime import datetime, timezone
 from typing import Optional
 
+# Shared latency math (nearest-rank percentiles) lives with the fabric
+# report code; every bench runs with src/ on the path, so re-exporting it
+# here keeps one implementation for benches and the serving layer alike.
+from repro.fabric.report import latency_percentiles, latency_summary, percentile
+
+__all__ = [
+    "BENCH_REPORT_SCHEMA",
+    "BenchClock",
+    "build_bench_report",
+    "default_out_dir",
+    "git_commit",
+    "latency_percentiles",
+    "latency_summary",
+    "percentile",
+    "write_bench_report",
+]
+
 #: Format identifier embedded in every benchmark report.
 BENCH_REPORT_SCHEMA = "repro.bench_report/v1"
 

@@ -1,0 +1,564 @@
+"""The fabric: N resident modem workers behind a dispatcher.
+
+Process model
+-------------
+Workers are ``fork``-started processes, each wired to the parent by two
+one-way pipes (tasks down, results up) plus its process *sentinel*.
+The parent multiplexes all of them with
+:func:`multiprocessing.connection.wait`, so a single-threaded pump loop
+observes completions and deaths in one place.  Queues are parent-side:
+each slot holds at most ``queue_depth`` accepted packets (pending +
+in-flight) and at most ``max_inflight`` are ever inside the pipe, so a
+crash can orphan only a bounded, exactly-known set of packets.
+
+Backpressure (all shedding is accounted in the fabric counters):
+
+``block``
+    ``submit`` pumps completions until a slot frees (or
+    ``submit_timeout_s`` expires, raising :class:`SubmitTimeout`).
+``drop``
+    ``submit`` returns ``None`` immediately and increments ``dropped``.
+``deadline``
+    ``submit`` blocks only until the packet's deadline; packets that
+    cannot be accepted (or dispatched) in time are rejected.
+
+Crash recovery: a dead worker is noticed via its sentinel (or a result
+pipe EOF), its buffered results are drained first, every still-orphaned
+packet is requeued to surviving slots (capacity waived — they were
+already accepted), and the slot is respawned from the parent's warm
+template.  Packet results are recorded exactly once by task id, so a
+kill-respawn cycle loses and duplicates nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing import connection
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler.linker import schedule_cache_dir
+from repro.fabric.dispatcher import Dispatcher, FabricTask, WorkerState
+from repro.fabric.report import FABRIC_REPORT_SCHEMA, latency_summary
+from repro.fabric.worker import (
+    MSG_BYE,
+    MSG_ERROR,
+    MSG_READY,
+    MSG_RESULT,
+    default_runner_factory,
+    worker_main,
+)
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+#: Supported submission backpressure modes.
+BACKPRESSURE_MODES = ("block", "drop", "deadline")
+
+
+class FabricError(RuntimeError):
+    """Base class for fabric-level failures."""
+
+
+class FabricClosed(FabricError):
+    """The fabric was used after shutdown (or before start)."""
+
+
+class SubmitTimeout(FabricError):
+    """``block`` submission could not find queue space in time."""
+
+
+class FabricTaskError(FabricError):
+    """A worker raised while processing one packet.
+
+    Stored as that task's result; the worker itself keeps serving.
+    """
+
+    def __init__(self, task_id: int, message: str) -> None:
+        super().__init__("task %d failed in worker: %s" % (task_id, message))
+        self.task_id = task_id
+
+
+class _Worker:
+    """One slot: dispatcher state plus the live process and pipes."""
+
+    def __init__(self, state: WorkerState) -> None:
+        self.state = state
+        self.proc: Optional[multiprocessing.process.BaseProcess] = None
+        self.task_conn = None  # parent send end
+        self.result_conn = None  # parent recv end
+
+
+class Fabric:
+    """A multi-core packet-serving fabric over resident modem runtimes."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        policy: str = "round_robin",
+        backpressure: str = "block",
+        queue_depth: int = 4,
+        max_inflight: int = 1,
+        submit_timeout_s: float = 120.0,
+        deadline_s: Optional[float] = None,
+        runtime_kwargs: Optional[dict] = None,
+        cache_dir: Optional[str] = None,
+        template_runtime: Optional[object] = None,
+        runner_factory: Optional[Callable[[], object]] = None,
+        tracer: Optional[Tracer] = None,
+        name: str = "fabric",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a fabric needs at least one worker, got %d" % workers)
+        if backpressure not in BACKPRESSURE_MODES:
+            raise ValueError(
+                "unknown backpressure mode %r; expected one of %s"
+                % (backpressure, list(BACKPRESSURE_MODES))
+            )
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1, got %d" % queue_depth)
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1, got %d" % max_inflight)
+        if backpressure == "deadline" and deadline_s is None:
+            raise ValueError("deadline backpressure needs a default deadline_s")
+        self.n_workers = int(workers)
+        self.policy = policy
+        self.backpressure = backpressure
+        self.queue_depth = int(queue_depth)
+        self.max_inflight = int(max_inflight)
+        self.submit_timeout_s = submit_timeout_s
+        self.deadline_s = deadline_s
+        self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._dispatcher = Dispatcher(policy)
+        self._runtime_kwargs = dict(runtime_kwargs or {})
+        self._cache_dir = cache_dir if cache_dir is not None else schedule_cache_dir()
+        self._template = template_runtime
+        self._runner_factory = runner_factory
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: List[_Worker] = []
+        self._next_task_id = 0
+        self._results: Dict[int, object] = {}
+        self._latencies: List[float] = []
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "dropped": 0,
+            "rejected": 0,
+            "requeued": 0,
+            "duplicates": 0,
+            "task_errors": 0,
+            "worker_crashes": 0,
+            "respawns": 0,
+        }
+        self._started = False
+        self._closed = False
+        self._t_start: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def template_runtime(self) -> Optional[object]:
+        """The parent-side warm runtime workers fork from (default mode)."""
+        return self._template
+
+    def start(self, warm_packets: Sequence[np.ndarray] = ()) -> "Fabric":
+        """Warm the parent template on *warm_packets*, then spawn workers."""
+        if self._started:
+            raise FabricError("fabric already started")
+        if self._closed:
+            raise FabricClosed("fabric already shut down")
+        if self._runner_factory is None and (warm_packets or self._template is None):
+            if self._template is None:
+                from repro.runtime import ModemRuntime
+
+                self._template = ModemRuntime(
+                    cache_dir=self._cache_dir, **self._runtime_kwargs
+                )
+            for rx in warm_packets:
+                self._template.warm_up(rx)
+        for slot in range(self.n_workers):
+            self._workers.append(_Worker(WorkerState(slot, self.queue_depth)))
+            self._spawn(slot)
+        self._started = True
+        self._t_start = time.perf_counter()
+        return self
+
+    def __enter__(self) -> "Fabric":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def _spawn(self, slot: int, respawn: bool = False) -> None:
+        worker = self._workers[slot]
+        task_recv, task_send = self._ctx.Pipe(duplex=False)
+        result_recv, result_send = self._ctx.Pipe(duplex=False)
+        # The child closes its inherited copies of every parent-held
+        # pipe end — other workers' and its own — so a SIGKILLed worker
+        # drops the *last* write end of its result pipe and the parent
+        # reads EOF instead of blocking forever (see worker.py).
+        close_in_child = [task_send, result_recv]
+        for other in self._workers:
+            if other is not worker and other.task_conn is not None:
+                close_in_child.extend([other.task_conn, other.result_conn])
+        factory = self._runner_factory
+        if factory is None:
+            factory = default_runner_factory(
+                self._template, self._runtime_kwargs, self._cache_dir
+            )
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(slot, task_recv, result_send, close_in_child, factory),
+            name="%s-worker-%d" % (self.name, slot),
+            daemon=True,
+        )
+        proc.start()
+        # Parent side: drop the child ends so the child holds them alone.
+        task_recv.close()
+        result_send.close()
+        worker.proc = proc
+        worker.task_conn = task_send
+        worker.result_conn = result_recv
+        worker.state.alive = True
+        worker.state.stopping = False
+        worker.state.pid = proc.pid
+        if respawn:
+            self._counters["respawns"] += 1
+            self._instant("worker_respawn", {"slot": slot, "pid": proc.pid})
+
+    # ------------------------------------------------------------------
+    # Submission and backpressure.
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        rx: np.ndarray,
+        n_symbols: int = 2,
+        detect_hint: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Optional[int]:
+        """Offer one packet; returns its task id, or ``None`` if shed.
+
+        Shedding (``None``) happens only in ``drop`` and ``deadline``
+        modes and is counted in ``dropped`` / ``rejected``.
+        """
+        self._require_open()
+        self._pump(0)
+        rx = np.atleast_2d(rx)
+        shape = (int(rx.shape[1]), int(n_symbols))
+        now = time.perf_counter()
+        deadline_t = None
+        if self.backpressure == "deadline":
+            deadline_t = now + (deadline_s if deadline_s is not None else self.deadline_s)
+        task = FabricTask(
+            self._next_task_id, rx, n_symbols, detect_hint, shape, now, deadline_t
+        )
+        target = self._dispatcher.select(self._states(), shape)
+        if target is None:
+            target = self._wait_for_capacity(task)
+            if target is None:
+                return None  # shed; already accounted
+        self._next_task_id += 1
+        self._counters["submitted"] += 1
+        target.assign(task)
+        self._feed(self._workers[target.index])
+        return task.task_id
+
+    def _wait_for_capacity(self, task: FabricTask) -> Optional[WorkerState]:
+        if self.backpressure == "drop":
+            self._counters["dropped"] += 1
+            self._instant("packet_dropped", {"shape": list(task.shape)})
+            return None
+        if self.backpressure == "deadline":
+            limit = task.deadline_t
+        else:  # block
+            limit = task.submit_t + self.submit_timeout_s
+        while True:
+            remaining = limit - time.perf_counter()
+            if remaining <= 0:
+                break
+            self._pump(min(0.05, remaining))
+            target = self._dispatcher.select(self._states(), task.shape)
+            if target is not None:
+                return target
+        if self.backpressure == "deadline":
+            self._counters["rejected"] += 1
+            self._instant("packet_rejected", {"shape": list(task.shape)})
+            return None
+        raise SubmitTimeout(
+            "no queue space within %.1fs (%d outstanding across %d workers)"
+            % (self.submit_timeout_s, self.outstanding, self.n_workers)
+        )
+
+    def _feed(self, worker: _Worker) -> None:
+        """Move pending packets into the pipe, up to ``max_inflight``."""
+        state = worker.state
+        while (
+            state.alive
+            and not state.stopping
+            and state.pending
+            and len(state.inflight) < self.max_inflight
+        ):
+            task = state.pending.popleft()
+            if (
+                task.deadline_t is not None
+                and time.perf_counter() > task.deadline_t
+            ):
+                self._counters["rejected"] += 1
+                self._instant("packet_rejected", {"task": task.task_id, "late": True})
+                continue
+            try:
+                worker.task_conn.send(
+                    (task.task_id, task.rx, task.n_symbols, task.detect_hint)
+                )
+            except (BrokenPipeError, OSError):
+                state.pending.appendleft(task)
+                self._on_worker_death(worker)
+                return
+            state.inflight[task.task_id] = task
+
+    # ------------------------------------------------------------------
+    # The pump: completions, crashes, respawns.
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Accepted packets not yet completed (pending + in-flight)."""
+        return sum(w.state.load for w in self._workers)
+
+    def _states(self) -> List[WorkerState]:
+        return [w.state for w in self._workers]
+
+    def _require_open(self) -> None:
+        if not self._started:
+            raise FabricClosed("fabric not started; call start() first")
+        if self._closed:
+            raise FabricClosed("fabric already shut down")
+
+    def _pump(self, timeout: float) -> bool:
+        """One multiplex round over result pipes and process sentinels."""
+        conns = {}
+        sentinels = {}
+        for worker in self._workers:
+            if worker.result_conn is not None and not worker.result_conn.closed:
+                conns[worker.result_conn] = worker
+            if worker.proc is not None and worker.proc.is_alive():
+                sentinels[worker.proc.sentinel] = worker
+        if not conns and not sentinels:
+            return False
+        ready = connection.wait(list(conns) + list(sentinels), timeout)
+        if not ready:
+            return False
+        dead: List[_Worker] = []
+        for obj in ready:
+            worker = conns.get(obj)
+            if worker is not None:
+                if not self._drain_conn(worker) and worker not in dead:
+                    dead.append(worker)
+            else:
+                worker = sentinels[obj]
+                if worker not in dead:
+                    dead.append(worker)
+        for worker in dead:
+            self._on_worker_death(worker)
+        return True
+
+    def _drain_conn(self, worker: _Worker) -> bool:
+        """Read every buffered message; False when the pipe hit EOF."""
+        conn = worker.result_conn
+        while True:
+            try:
+                if not conn.poll(0):
+                    return True
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return False
+            self._handle_message(worker, msg)
+
+    def _handle_message(self, worker: _Worker, msg: tuple) -> None:
+        tag = msg[0]
+        state = worker.state
+        if tag == MSG_READY:
+            info = msg[2]
+            state.spinup_s = info.get("spinup_s")
+            state.spinup_schedule_misses = info.get("schedule_misses")
+            return
+        if tag == MSG_BYE:
+            return
+        if tag in (MSG_RESULT, MSG_ERROR):
+            task_id, dt = msg[1], msg[2]
+            task = state.inflight.pop(task_id, None)
+            if task_id in self._results:
+                # Exactly-once guard; unreachable in the current
+                # requeue protocol but cheap insurance against it.
+                self._counters["duplicates"] += 1
+                return
+            if tag == MSG_ERROR:
+                self._results[task_id] = FabricTaskError(task_id, msg[3])
+                self._counters["task_errors"] += 1
+            else:
+                self._results[task_id] = msg[3]
+            self._counters["completed"] += 1
+            state.completed += 1
+            state.busy_s += dt
+            if task is not None:
+                self._latencies.append(time.perf_counter() - task.submit_t)
+            self._feed(worker)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        """Requeue a dead slot's packets and respawn it."""
+        state = worker.state
+        if not state.alive:
+            return
+        # A kill surfaces through several signals (result-pipe EOF, the
+        # process sentinel, a feed-side BrokenPipeError), and handling
+        # the first one respawns the slot — so a later signal from the
+        # same round must not take down the replacement process.
+        if worker.proc is not None and worker.proc.is_alive():
+            return
+        # A worker that was told to stop exiting is a clean shutdown.
+        if state.stopping:
+            state.alive = False
+            return
+        self._drain_conn(worker)  # salvage fully-written results first
+        state.alive = False
+        state.crashes += 1
+        self._counters["worker_crashes"] += 1
+        self._instant("worker_crash", {"slot": state.index, "pid": state.pid})
+        orphans = list(state.inflight.values()) + list(state.pending)
+        state.inflight.clear()
+        state.pending.clear()
+        for conn in (worker.task_conn, worker.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if worker.proc is not None:
+            worker.proc.join(timeout=5)
+        self._spawn(state.index, respawn=True)
+        for task in orphans:
+            task.requeues += 1
+            self._counters["requeued"] += 1
+            target = self._dispatcher.requeue_select(self._states(), task.shape)
+            if target is None:  # every slot dying at once: shouldn't happen
+                raise FabricError(
+                    "no alive worker to requeue task %d onto" % task.task_id
+                )
+            target.assign(task)
+            self._feed(self._workers[target.index])
+
+    # ------------------------------------------------------------------
+    # Draining, results, shutdown.
+    # ------------------------------------------------------------------
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Advance the fabric; True when any progress event was handled."""
+        self._require_open()
+        return self._pump(timeout)
+
+    def results(self) -> Dict[int, object]:
+        """Results recorded so far, keyed by task id (shallow copy)."""
+        return dict(self._results)
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[int, object]:
+        """Pump until every accepted packet completed; returns results."""
+        self._require_open()
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while self.outstanding:
+            remaining = 0.2
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise FabricError(
+                        "drain timed out with %d packets outstanding" % self.outstanding
+                    )
+                remaining = min(0.2, remaining)
+            self._pump(remaining)
+        return self.results()
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the fabric; with *drain* (default) queues finish first."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        if drain:
+            self.drain(timeout)
+        for worker in self._workers:
+            worker.state.stopping = True
+            try:
+                worker.task_conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            if worker.proc is not None:
+                worker.proc.join(timeout=5)
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+                    worker.proc.join(timeout=5)
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+                    worker.proc.join()
+            worker.state.alive = False
+            for conn in (worker.task_conn, worker.result_conn):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._closed = True
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids, by slot (for tests and operators)."""
+        return [w.proc.pid for w in self._workers if w.proc is not None]
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    def _instant(self, event: str, args: dict) -> None:
+        if self.tracer.enabled and self._t_start is not None:
+            ts = int((time.perf_counter() - self._t_start) * 1e6)
+            self.tracer.instant(event, ts, cat="fabric", args=args)
+
+    def report(self) -> dict:
+        """The fabric report: counters, per-worker stats, latencies."""
+        wall = (
+            time.perf_counter() - self._t_start if self._t_start is not None else 0.0
+        )
+        completed = self._counters["completed"]
+        per_worker = []
+        for worker in self._workers:
+            state = worker.state
+            per_worker.append(
+                {
+                    "index": state.index,
+                    "pid": state.pid,
+                    "alive": bool(state.alive),
+                    "completed": state.completed,
+                    "load": state.load,
+                    "busy_s": round(state.busy_s, 6),
+                    "occupancy": round(min(1.0, state.busy_s / wall), 4) if wall else 0.0,
+                    "crashes": state.crashes,
+                    "shapes": len(state.shapes),
+                    "spinup_s": state.spinup_s,
+                    "spinup_schedule_misses": state.spinup_schedule_misses,
+                }
+            )
+        return {
+            "schema": FABRIC_REPORT_SCHEMA,
+            "name": self.name,
+            "policy": self.policy,
+            "backpressure": self.backpressure,
+            "workers": self.n_workers,
+            "queue_depth": self.queue_depth,
+            "wall_s": round(wall, 6),
+            "packets_per_sec": round(completed / wall, 3) if wall else 0.0,
+            "outstanding": self.outstanding,
+            "counters": dict(self._counters),
+            "latency_s": latency_summary(self._latencies),
+            "per_worker": per_worker,
+        }

@@ -1,0 +1,101 @@
+"""Fabric observability: latency percentiles, JSON and Prometheus views.
+
+The fabric report is the serving-layer sibling of the per-run trace
+report (``repro.trace.report``): fabric-level counters (submissions,
+drops, rejections, requeues, respawns), per-worker occupancy and
+spin-up provenance, and end-to-end latency percentiles.  The JSON form
+is embedded in ``BENCH_fabric_scaling.json`` and validated in CI;
+:func:`fabric_prometheus_text` renders the same numbers in the
+Prometheus exposition format used by ``repro.trace.export``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: Format identifier embedded in every fabric report.
+FABRIC_REPORT_SCHEMA = "repro.fabric_report/v1"
+
+_PREFIX = "repro_fabric_"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in 0..100) of *samples*.
+
+    Nearest-rank keeps every reported number an actually-observed
+    latency (no interpolation between samples), which is what you want
+    when the tail is the story.  Raises on an empty sample list.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample list")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q=%r outside 0..100" % (q,))
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """The standard p50/p95/p99 triple from a latency sample list."""
+    return {
+        "p50": percentile(samples, 50),
+        "p95": percentile(samples, 95),
+        "p99": percentile(samples, 99),
+    }
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """Percentiles plus count/mean/max; zeros when nothing completed."""
+    if not samples:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    summary = {"count": len(samples)}
+    summary.update(latency_percentiles(samples))
+    summary["mean"] = float(sum(samples) / len(samples))
+    summary["max"] = float(max(samples))
+    return summary
+
+
+def _sample(name: str, value, labels: Optional[Dict[str, object]] = None) -> str:
+    if labels:
+        inner = ",".join('%s="%s"' % (k, v) for k, v in sorted(labels.items()))
+        return "%s%s{%s} %s" % (_PREFIX, name, inner, value)
+    return "%s%s %s" % (_PREFIX, name, value)
+
+
+def fabric_prometheus_text(report: dict) -> str:
+    """Render a fabric report dict as Prometheus exposition text."""
+    lines: List[str] = []
+    for name, value in sorted(report.get("counters", {}).items()):
+        lines.append("# TYPE %s%s counter" % (_PREFIX, name))
+        lines.append(_sample(name, value))
+    gauges = [
+        ("workers", report.get("workers")),
+        ("outstanding", report.get("outstanding")),
+        ("packets_per_sec", report.get("packets_per_sec")),
+        ("wall_seconds", report.get("wall_s")),
+    ]
+    for name, value in gauges:
+        if value is None:
+            continue
+        lines.append("# TYPE %s%s gauge" % (_PREFIX, name))
+        lines.append(_sample(name, value))
+    latency = report.get("latency_s", {})
+    for key in ("p50", "p95", "p99"):
+        if key in latency:
+            lines.append(
+                _sample("latency_seconds", latency[key], {"quantile": key.lstrip("p")})
+            )
+    for worker in report.get("per_worker", []):
+        labels = {"worker": worker["index"]}
+        lines.append(_sample("worker_completed", worker["completed"], labels))
+        lines.append(_sample("worker_occupancy", worker["occupancy"], labels))
+        lines.append(_sample("worker_queue_depth", worker["load"], labels))
+        lines.append(_sample("worker_crashes", worker["crashes"], labels))
+    return "\n".join(lines) + "\n"
+
+
+def fabric_report_json(report: dict) -> str:
+    """The fabric report as pretty-printed JSON text."""
+    return json.dumps(report, indent=1, sort_keys=True)

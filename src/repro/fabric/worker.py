@@ -1,0 +1,117 @@
+"""The worker process side of the fabric.
+
+Each worker is a forked process running :func:`worker_main`: it builds
+(or inherits) a resident runtime, announces readiness, then serves
+``(task_id, rx, n_symbols, detect_hint)`` requests from its task pipe
+until it receives the ``None`` stop sentinel or the pipe closes.
+
+Fork inheritance is the warm-up mechanism: the fabric constructs and
+warms one **template** :class:`~repro.runtime.ModemRuntime` in the
+parent (hitting the persistent schedule cache), and every worker —
+including respawns after a crash — forks a copy of the fully *linked*
+template, so spin-up performs zero ``ModuloScheduler.schedule`` calls
+and zero region links for the warmed shapes.  The readiness message
+carries the child-side schedule-cache miss delta so the fabric report
+can prove it.
+
+Crash isolation: every worker gets its own result pipe, and the first
+thing a child does is close its inherited copies of every *other*
+worker's pipe ends.  A SIGKILLed worker therefore drops the last write
+end of its result pipe, the parent reads a clean EOF (even mid-message)
+instead of deadlocking on a shared queue lock, and the surviving
+workers are untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+# Result-pipe message tags (tag, payload...) — see worker_main.
+MSG_READY = "ready"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_BYE = "bye"
+
+
+def default_runner_factory(
+    template: Optional[object],
+    runtime_kwargs: Optional[dict],
+    cache_dir: Optional[str],
+) -> Callable[[], object]:
+    """The runner factory used when the fabric serves real modem packets.
+
+    Returns a zero-argument callable run *in the child*: it reuses the
+    forked *template* runtime when one exists (zero spin-up work) and
+    otherwise builds a fresh :class:`~repro.runtime.ModemRuntime`
+    against the persistent schedule cache.
+    """
+
+    def build():
+        if template is not None:
+            return template
+        from repro.runtime import ModemRuntime
+
+        return ModemRuntime(cache_dir=cache_dir, **(runtime_kwargs or {}))
+
+    return build
+
+
+def _schedule_misses() -> int:
+    from repro.compiler.linker import schedule_cache_stats
+
+    return int(schedule_cache_stats().get("misses", 0))
+
+
+def worker_main(
+    index: int,
+    task_conn,
+    result_conn,
+    close_conns: Sequence[object],
+    runner_factory: Callable[[], object],
+) -> None:
+    """Body of one worker process (the ``Process`` target)."""
+    for conn in close_conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    misses_before = _schedule_misses()
+    t0 = time.perf_counter()
+    runner = runner_factory()
+    result_conn.send(
+        (
+            MSG_READY,
+            index,
+            {
+                "spinup_s": time.perf_counter() - t0,
+                "schedule_misses": _schedule_misses() - misses_before,
+            },
+        )
+    )
+    while True:
+        try:
+            msg = task_conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away: exit quietly
+        if msg is None:
+            try:
+                result_conn.send((MSG_BYE, index, None))
+            except (OSError, BrokenPipeError):
+                pass
+            break
+        task_id, rx, n_symbols, detect_hint = msg
+        t0 = time.perf_counter()
+        try:
+            out = runner.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
+        except Exception as exc:  # task-level fault: report, keep serving
+            dt = time.perf_counter() - t0
+            result_conn.send((MSG_ERROR, task_id, dt, "%s: %s" % (type(exc).__name__, exc)))
+        else:
+            dt = time.perf_counter() - t0
+            result_conn.send((MSG_RESULT, task_id, dt, out))
+    try:
+        result_conn.close()
+        task_conn.close()
+    except OSError:
+        pass

@@ -11,13 +11,14 @@ pure functions of (architecture, seed, memory map, OFDM params, packet
 shape).
 """
 
-from repro.runtime.batch import BatchReceiver, ModemRuntime
+from repro.runtime.batch import BatchReceiver, ModemRuntime, WorkerCrashError
 from repro.runtime.workload import PacketCase, generate_packets, make_packet
 
 __all__ = [
     "BatchReceiver",
     "ModemRuntime",
     "PacketCase",
+    "WorkerCrashError",
     "generate_packets",
     "make_packet",
 ]

@@ -13,6 +13,9 @@ cache, so per-worker start-up cost is linking, not scheduling.
 from __future__ import annotations
 
 import multiprocessing
+import time
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,6 +25,25 @@ from repro.compiler.linker import configure_schedule_cache
 from repro.modem.memory_map import DEFAULT_MAP, MemoryMap
 from repro.modem.receiver import ReceiverOutput, SimReceiver
 from repro.phy.params import PARAMS_20MHZ_2X2, OfdmParams
+
+
+class WorkerCrashError(RuntimeError):
+    """A batch worker process died (e.g. was OOM-killed or SIGKILLed).
+
+    The old fork-pool path either hung forever or died opaquely when a
+    worker vanished mid-batch; this error instead names the first
+    unfinished packet index (and every other pending one) so callers
+    can retry or shed precisely.  ``repro.fabric`` goes further and
+    requeues transparently.
+    """
+
+    def __init__(self, packet_index: int, pending_indices: Sequence[int]) -> None:
+        self.packet_index = int(packet_index)
+        self.pending_indices = sorted(int(i) for i in pending_indices)
+        super().__init__(
+            "batch worker process died; packet index %d unfinished "
+            "(pending indices: %s)" % (self.packet_index, self.pending_indices)
+        )
 
 
 class ModemRuntime:
@@ -81,8 +103,9 @@ def _worker_init(kwargs: Dict[str, object], cache_dir: Optional[str]) -> None:
 def _worker_run(task: Tuple[int, np.ndarray, int, Optional[int]]):
     index, rx, n_symbols, detect_hint = task
     assert _WORKER_RUNTIME is not None
+    t0 = time.perf_counter()
     out = _WORKER_RUNTIME.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
-    return index, out
+    return index, out, time.perf_counter() - t0
 
 
 class BatchReceiver:
@@ -110,32 +133,63 @@ class BatchReceiver:
         n_symbols: int = 2,
         detect_hint: Optional[int] = None,
     ) -> List[ReceiverOutput]:
-        """Process *packets* (each ``(2, n_samples)`` complex) in order."""
+        """Process *packets* (each ``(2, n_samples)`` complex) in order.
+
+        Raises :class:`WorkerCrashError` if a pool worker process dies
+        mid-batch (the fork-pool path used to hang forever on a killed
+        worker).
+        """
+        return self.run_timed(packets, n_symbols=n_symbols, detect_hint=detect_hint)[0]
+
+    def run_timed(
+        self,
+        packets: Sequence[np.ndarray],
+        n_symbols: int = 2,
+        detect_hint: Optional[int] = None,
+    ) -> Tuple[List[ReceiverOutput], List[float]]:
+        """Like :meth:`run`, plus per-packet wall seconds (input order).
+
+        The timings are measured around each packet's simulation in
+        whichever process ran it, so latency percentiles stay meaningful
+        for both the serial and the pool path.
+        """
         packets = list(packets)
+
+        def serial():
+            outputs, timings = [], []
+            for rx in packets:
+                t0 = time.perf_counter()
+                outputs.append(
+                    self.runtime.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
+                )
+                timings.append(time.perf_counter() - t0)
+            return outputs, timings
+
         if self.workers == 1 or len(packets) <= 1:
-            return [
-                self.runtime.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
-                for rx in packets
-            ]
+            return serial()
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: stay correct, go serial
-            return [
-                self.runtime.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
-                for rx in packets
-            ]
+            return serial()
         from repro.compiler.linker import schedule_cache_dir
 
-        tasks = [
-            (i, rx, n_symbols, detect_hint) for i, rx in enumerate(packets)
-        ]
+        tasks = [(i, rx, n_symbols, detect_hint) for i, rx in enumerate(packets)]
         n_workers = min(self.workers, len(tasks))
         results: List[Optional[ReceiverOutput]] = [None] * len(tasks)
-        with ctx.Pool(
-            processes=n_workers,
+        timings: List[float] = [0.0] * len(tasks)
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=ctx,
             initializer=_worker_init,
             initargs=(self.runtime._kwargs, schedule_cache_dir()),
-        ) as pool:
-            for index, out in pool.imap_unordered(_worker_run, tasks):
-                results[index] = out
-        return [out for out in results if out is not None]
+        ) as executor:
+            futures = {executor.submit(_worker_run, task): task[0] for task in tasks}
+            try:
+                for future in as_completed(futures):
+                    index, out, dt = future.result()
+                    results[index] = out
+                    timings[index] = dt
+            except BrokenProcessPool:
+                pending = [i for fut, i in futures.items() if results[i] is None]
+                raise WorkerCrashError(min(pending), pending) from None
+        return [out for out in results if out is not None], timings

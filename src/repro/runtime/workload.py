@@ -37,15 +37,25 @@ def make_packet(
     snr_db: Optional[float] = None,
     params: OfdmParams = PARAMS_20MHZ_2X2,
     channel: Optional[MimoChannel] = None,
+    extra_pad: int = 0,
 ) -> PacketCase:
-    """Transmit one packet through the reference chain."""
+    """Transmit one packet through the reference chain.
+
+    *extra_pad* appends that many additional trailing zero samples after
+    the standard 64: the payload is untouched but the packet *shape*
+    (sample count) changes, which is how streaming workloads exercise
+    per-shape program linking and the ``shape_affinity`` dispatch
+    policy.
+    """
+    if extra_pad < 0:
+        raise ValueError("extra_pad must be >= 0, got %d" % extra_pad)
     rng = np.random.default_rng(seed)
     bits = rng.integers(0, 2, size=2 * params.bits_per_symbol)
     tx = transmit(bits, params)
     chan = channel if channel is not None else MimoChannel.identity(2)
     rx = chan.apply(tx.waveform, snr_db=snr_db, cfo_hz=cfo_hz)
     noise = 0.001 * (rng.normal(size=(2, 32)) + 1j * rng.normal(size=(2, 32)))
-    rx = np.concatenate([noise, rx, np.zeros((2, 64))], axis=1)
+    rx = np.concatenate([noise, rx, np.zeros((2, 64 + extra_pad))], axis=1)
     return PacketCase(seed=seed, cfo_hz=cfo_hz, snr_db=snr_db, bits=bits, rx=rx)
 
 

@@ -1,0 +1,101 @@
+"""Poisson stream driver: reproducibility, bounds, traffic mixing."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import poisson_stream
+from repro.fabric.report import latency_percentiles, latency_summary, percentile
+
+
+def test_stream_is_reproducible():
+    kwargs = dict(
+        rate_hz=100.0,
+        n_packets=6,
+        base_seed=7,
+        cfo_choices=(30e3, 50e3),
+        snr_choices=(None, 25.0),
+        pad_choices=(0, 64),
+    )
+    a = list(poisson_stream(**kwargs))
+    b = list(poisson_stream(**kwargs))
+    assert len(a) == len(b) == 6
+    for ea, eb in zip(a, b):
+        assert ea.time_s == eb.time_s
+        assert ea.seq == eb.seq
+        assert ea.case.cfo_hz == eb.case.cfo_hz
+        assert ea.case.snr_db == eb.case.snr_db
+        assert np.array_equal(ea.case.rx, eb.case.rx)
+        assert np.array_equal(ea.case.bits, eb.case.bits)
+
+
+def test_stream_arrival_times_increase_and_respect_duration():
+    events = list(poisson_stream(rate_hz=50.0, duration_s=0.5, base_seed=3))
+    assert events, "expected at least one arrival in 0.5s at 50 Hz"
+    times = [e.time_s for e in events]
+    assert times == sorted(times)
+    assert all(0 < t < 0.5 for t in times)
+    # Rough rate sanity for a fixed seed: 50 Hz over 0.5 s ~ 25 packets.
+    assert 5 <= len(events) <= 60
+
+
+def test_stream_n_packets_bound_and_distinct_payloads():
+    events = list(poisson_stream(rate_hz=1000.0, n_packets=4, base_seed=0))
+    assert [e.seq for e in events] == [0, 1, 2, 3]
+    payloads = {tuple(e.case.bits) for e in events}
+    assert len(payloads) == 4
+
+
+def test_stream_mixes_declared_traffic_only():
+    cfos = (30e3, 50e3)
+    pads = (0, 64)
+    events = list(
+        poisson_stream(
+            rate_hz=1000.0, n_packets=24, base_seed=11, cfo_choices=cfos, pad_choices=pads
+        )
+    )
+    seen_cfo = {e.case.cfo_hz for e in events}
+    seen_len = {e.case.rx.shape[1] for e in events}
+    assert seen_cfo <= set(cfos)
+    assert len(seen_cfo) == 2, "both CFO choices should appear in 24 draws"
+    assert len(seen_len) == 2, "both shapes should appear in 24 draws"
+    lens = sorted(seen_len)
+    assert lens[1] - lens[0] == 64
+
+
+def test_stream_argument_validation():
+    with pytest.raises(ValueError, match="rate_hz"):
+        list(poisson_stream(rate_hz=0.0, n_packets=1))
+    with pytest.raises(ValueError, match="bound the stream"):
+        list(poisson_stream(rate_hz=1.0))
+
+
+# ----------------------------------------------------------------------
+# Percentile helpers (the shared latency math).
+# ----------------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    samples = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(samples, 50) == 20.0
+    assert percentile(samples, 95) == 40.0
+    assert percentile(samples, 0) == 10.0
+    assert percentile(samples, 100) == 40.0
+    assert percentile([5.0], 99) == 5.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError, match="empty"):
+        percentile([], 50)
+    with pytest.raises(ValueError, match="outside"):
+        percentile([1.0], 101)
+
+
+def test_latency_percentiles_and_summary():
+    samples = list(range(1, 101))  # 1..100
+    p = latency_percentiles(samples)
+    assert p == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+    s = latency_summary(samples)
+    assert s["count"] == 100
+    assert s["max"] == 100.0
+    assert s["mean"] == pytest.approx(50.5)
+    assert latency_summary([])["count"] == 0

@@ -1,6 +1,7 @@
 """Batch runtime tests: bit-identity, throughput, pool and disk cache."""
 
 import os
+import signal
 import subprocess
 import sys
 import textwrap
@@ -12,7 +13,8 @@ import pytest
 import repro
 from repro.compiler.linker import _SCHEDULE_CACHE, configure_schedule_cache
 from repro.modem.receiver import SimReceiver
-from repro.runtime import BatchReceiver, ModemRuntime, generate_packets
+from repro.runtime import BatchReceiver, ModemRuntime, WorkerCrashError, generate_packets
+from repro.runtime import batch as batch_module
 
 _SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
@@ -85,6 +87,45 @@ def test_batch_8_packets_at_least_5x_faster_than_cold_runs(cases):
     # 8 cold per-packet runs would cost ~8 * t_cold; the batch must be
     # at least 5x cheaper end-to-end (it is ~40x in practice).
     assert len(cases) * t_cold >= 5 * t_batch, (t_cold, t_batch)
+
+
+def _noop_init(kwargs, cache_dir):
+    """Pool initializer stub: skip runtime construction in the workers."""
+
+
+def _suicide_run(task):
+    """Pool task stub: packet 0's worker dies the way an OOM kill looks."""
+    index, rx, n_symbols, detect_hint = task
+    if index == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(0.05)
+    return index, None, 0.0
+
+
+def test_killed_pool_worker_raises_typed_crash_error(monkeypatch):
+    """ISSUE satellite: a killed fork-pool worker used to hang the batch
+    (or die opaquely); it must now raise WorkerCrashError naming the
+    failed packet index."""
+    monkeypatch.setattr(batch_module, "_worker_init", _noop_init)
+    monkeypatch.setattr(batch_module, "_worker_run", _suicide_run)
+    batch = BatchReceiver(workers=2)
+    packets = [np.zeros((2, 400), dtype=np.complex128) for _ in range(3)]
+    with pytest.raises(WorkerCrashError) as excinfo:
+        batch.run(packets)
+    err = excinfo.value
+    assert err.packet_index == 0
+    assert 0 in err.pending_indices
+    assert "packet index 0" in str(err)
+
+
+def test_run_timed_reports_per_packet_wall(cases):
+    batch = BatchReceiver()
+    subset = [case.rx for case in cases[:2]]
+    outputs, timings = batch.run_timed(subset)
+    assert len(outputs) == len(timings) == 2
+    assert all(dt > 0 for dt in timings)
+    for out, case in zip(outputs, cases[:2]):
+        assert float(np.mean(out.bits != case.bits)) == 0.0
 
 
 def test_fresh_process_with_warm_disk_cache_never_schedules(tmp_path, cases):

@@ -24,6 +24,7 @@ import time
 import numpy as np
 
 from repro.fabric import (
+    DeadlineExceeded,
     Fabric,
     FabricTaskError,
     fabric_prometheus_text,
@@ -74,10 +75,13 @@ def main(argv=None) -> int:
     fab.shutdown()
 
     truth = stream_truth(offered)
-    clean = noisy = errored = 0
+    clean = noisy = errored = late = 0
     noisy_bers = []
     for task_id, case in truth.items():
         out = results[task_id]
+        if isinstance(out, DeadlineExceeded):
+            late += 1  # accepted, then shed while queued
+            continue
         if isinstance(out, FabricTaskError):
             errored += 1
             continue
@@ -94,7 +98,7 @@ def main(argv=None) -> int:
     shed = sum(1 for task_id, _ in offered if task_id is None)
     print(
         "offered %d packets: %d noiseless decoded exactly, %d noisy "
-        "(mean ber %.4f), %d errored, %d shed"
+        "(mean ber %.4f), %d errored, %d shed at submit, %d shed late"
         % (
             len(offered),
             clean,
@@ -102,6 +106,7 @@ def main(argv=None) -> int:
             float(np.mean(noisy_bers)) if noisy_bers else 0.0,
             errored,
             shed,
+            late,
         )
     )
 

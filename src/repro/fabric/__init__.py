@@ -26,6 +26,7 @@ and the hierarchical dataflow baseband architectures in PAPERS.md).
 from repro.fabric.dispatcher import POLICIES, Dispatcher, FabricTask, WorkerState
 from repro.fabric.fabric import (
     BACKPRESSURE_MODES,
+    DeadlineExceeded,
     Fabric,
     FabricClosed,
     FabricError,
@@ -44,6 +45,7 @@ from repro.fabric.stream import StreamEvent, poisson_stream, run_stream, stream_
 
 __all__ = [
     "BACKPRESSURE_MODES",
+    "DeadlineExceeded",
     "Dispatcher",
     "FABRIC_REPORT_SCHEMA",
     "Fabric",

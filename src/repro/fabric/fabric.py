@@ -20,7 +20,9 @@ Backpressure (all shedding is accounted in the fabric counters):
     ``submit`` returns ``None`` immediately and increments ``dropped``.
 ``deadline``
     ``submit`` blocks only until the packet's deadline; packets that
-    cannot be accepted (or dispatched) in time are rejected.
+    cannot be accepted in time are rejected (``submit`` returns
+    ``None``), and an accepted packet whose deadline expires while it
+    is still queued resolves to a :class:`DeadlineExceeded` result.
 
 Crash recovery: a dead worker is noticed via its sentinel (or a result
 pipe EOF), its buffered results are drained first, every still-orphaned
@@ -66,6 +68,20 @@ class FabricClosed(FabricError):
 
 class SubmitTimeout(FabricError):
     """``block`` submission could not find queue space in time."""
+
+
+class DeadlineExceeded(FabricError):
+    """An accepted packet's deadline expired while it was still queued.
+
+    Stored as that task's result (and counted in ``rejected``), so every
+    task id :meth:`Fabric.submit` returns resolves in
+    :meth:`Fabric.results` — late-shed packets carry this sentinel
+    instead of silently never appearing.
+    """
+
+    def __init__(self, task_id: int) -> None:
+        super().__init__("task %d deadline expired while queued" % task_id)
+        self.task_id = task_id
 
 
 class FabricTaskError(FabricError):
@@ -228,6 +244,13 @@ class Fabric:
         worker.state.stopping = False
         worker.state.pid = proc.pid
         if respawn:
+            # The replacement forked from the parent's warm template, so
+            # it holds only the template's warmed shapes — every shape
+            # the dead incarnation linked post-fork is gone.  Reset the
+            # affinity state to what the new process actually holds.
+            worker.state.shapes = set(
+                getattr(self._template, "warmed_shapes", ()) or ()
+            )
             self._counters["respawns"] += 1
             self._instant("worker_respawn", {"slot": slot, "pid": proc.pid})
 
@@ -245,7 +268,10 @@ class Fabric:
         """Offer one packet; returns its task id, or ``None`` if shed.
 
         Shedding (``None``) happens only in ``drop`` and ``deadline``
-        modes and is counted in ``dropped`` / ``rejected``.
+        modes and is counted in ``dropped`` / ``rejected``.  In
+        ``deadline`` mode an *accepted* packet can still expire while
+        queued; its id then resolves to a :class:`DeadlineExceeded`
+        sentinel in :meth:`results` (also counted in ``rejected``).
         """
         self._require_open()
         self._pump(0)
@@ -310,6 +336,7 @@ class Fabric:
                 and time.perf_counter() > task.deadline_t
             ):
                 self._counters["rejected"] += 1
+                self._results[task.task_id] = DeadlineExceeded(task.task_id)
                 self._instant("packet_rejected", {"task": task.task_id, "late": True})
                 continue
             try:
@@ -421,12 +448,18 @@ class Fabric:
         # same round must not take down the replacement process.
         if worker.proc is not None and worker.proc.is_alive():
             return
+        # Mark the slot dead *before* anything else: the salvage drain
+        # below delivers buffered results through _handle_message, whose
+        # _feed would otherwise try task_conn.send on the dead child,
+        # hit BrokenPipeError, and re-enter this handler mid-teardown
+        # (double-counting the crash and tearing down the replacement).
+        # With alive already False, _feed is a no-op and the re-entrant
+        # call returns at the guard above.
+        state.alive = False
         # A worker that was told to stop exiting is a clean shutdown.
         if state.stopping:
-            state.alive = False
             return
         self._drain_conn(worker)  # salvage fully-written results first
-        state.alive = False
         state.crashes += 1
         self._counters["worker_crashes"] += 1
         self._instant("worker_crash", {"slot": state.index, "pid": state.pid})

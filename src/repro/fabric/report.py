@@ -82,10 +82,11 @@ def fabric_prometheus_text(report: dict) -> str:
         lines.append("# TYPE %s%s gauge" % (_PREFIX, name))
         lines.append(_sample(name, value))
     latency = report.get("latency_s", {})
-    for key in ("p50", "p95", "p99"):
+    # Prometheus summary convention: fractional quantile labels.
+    for key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
         if key in latency:
             lines.append(
-                _sample("latency_seconds", latency[key], {"quantile": key.lstrip("p")})
+                _sample("latency_seconds", latency[key], {"quantile": quantile})
             )
     for worker in report.get("per_worker", []):
         labels = {"worker": worker["index"]}

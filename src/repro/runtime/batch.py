@@ -64,6 +64,11 @@ class ModemRuntime:
             arch=arch, params=params, mem=mem, seed=seed, interpreter=interpreter
         )
         self.receiver = SimReceiver(**self._kwargs)
+        #: Packet shapes ``(n_samples, n_symbols)`` this runtime has run
+        #: (== shapes whose region programs are linked and resident).
+        #: ``repro.fabric`` uses this to seed shape-affinity state for
+        #: workers forked from a warm template.
+        self.warmed_shapes: set = set()
 
     @property
     def compiled_programs(self) -> int:
@@ -77,6 +82,8 @@ class ModemRuntime:
         detect_hint: Optional[int] = None,
     ) -> ReceiverOutput:
         """Run one packet on the resident programs."""
+        rx = np.atleast_2d(rx)
+        self.warmed_shapes.add((int(rx.shape[1]), int(n_symbols)))
         return self.receiver.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
 
     def warm_up(self, rx: np.ndarray, **kwargs) -> ReceiverOutput:
@@ -190,6 +197,21 @@ class BatchReceiver:
                     results[index] = out
                     timings[index] = dt
             except BrokenProcessPool:
-                pending = [i for fut, i in futures.items() if results[i] is None]
+                # as_completed may not have yielded every finished
+                # future before the crash surfaced: harvest the done,
+                # successful ones first so pending_indices names only
+                # packets that genuinely did not finish.
+                pending = []
+                for fut, i in futures.items():
+                    if not fut.done():
+                        pending.append(i)
+                        continue
+                    try:
+                        index, out, dt = fut.result()
+                    except Exception:
+                        pending.append(i)
+                    else:
+                        results[index] = out
+                        timings[index] = dt
                 raise WorkerCrashError(min(pending), pending) from None
         return [out for out in results if out is not None], timings

@@ -11,7 +11,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.fabric import Fabric, FabricClosed, FabricTaskError, SubmitTimeout
+from repro.fabric import (
+    DeadlineExceeded,
+    Fabric,
+    FabricClosed,
+    FabricTaskError,
+    SubmitTimeout,
+)
 
 
 class _StubRunner:
@@ -103,6 +109,32 @@ def test_deadline_backpressure_rejects_late_packets():
     assert sorted(results) == sorted(accepted)
 
 
+def test_deadline_expiry_in_queue_leaves_a_sentinel_result():
+    """An *accepted* packet whose deadline lapses while queued must still
+    resolve in results() — as a DeadlineExceeded sentinel — so a caller
+    indexing the id submit() returned never KeyErrors."""
+    fab = Fabric(
+        workers=1,
+        runner_factory=_slow_factory,
+        queue_depth=2,
+        backpressure="deadline",
+        deadline_s=0.1,
+    )
+    with fab:
+        first = fab.submit(np.ones((2, 400)))  # dispatched immediately
+        # Accepted (queue has room) but stuck behind the 0.25s packet in
+        # flight, so its 0.1s deadline expires before it can dispatch.
+        second = fab.submit(np.ones((2, 400)))
+        assert first is not None and second is not None
+        results = fab.drain(timeout=30)
+    assert results[first]["sum"] == float(np.sum(np.ones((2, 400))))
+    assert isinstance(results[second], DeadlineExceeded)
+    assert results[second].task_id == second
+    report = fab.report()
+    assert report["counters"]["rejected"] == 1
+    assert report["counters"]["completed"] == 1
+
+
 def test_block_backpressure_completes_everything():
     fab = Fabric(
         workers=2,
@@ -159,6 +191,28 @@ def test_worker_crash_requeues_respawns_and_loses_nothing():
     assert report["counters"]["completed"] == 6
     crashed = [w for w in report["per_worker"] if w["crashes"] == 1]
     assert len(crashed) == 1 and crashed[0]["alive"], "slot respawned"
+
+
+def test_respawn_resets_shape_affinity_state():
+    """A respawned worker forks the template (here: none), so the shapes
+    its dead incarnation linked must not linger in the affinity state."""
+    fab = Fabric(
+        workers=2, runner_factory=_fast_factory, queue_depth=4, policy="shape_affinity"
+    )
+    with fab:
+        fab.submit(np.ones((2, 400)))
+        fab.drain(timeout=30)
+        victim = next(w for w in fab._workers if w.state.shapes)
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        deadline = time.time() + 10
+        while fab._counters["respawns"] == 0 and time.time() < deadline:
+            fab.poll(0.05)
+        assert fab._counters["respawns"] == 1
+        assert victim.state.shapes == set(), "stale shapes survive respawn"
+        # The respawned slot still serves traffic.
+        task_id = fab.submit(np.ones((2, 400)))
+        results = fab.drain(timeout=30)
+    assert results[task_id]["sum"] == float(np.sum(np.ones((2, 400))))
 
 
 def test_task_error_is_recorded_and_worker_survives():

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.fabric import poisson_stream
-from repro.fabric.report import latency_percentiles, latency_summary, percentile
+from repro.fabric.report import (
+    fabric_prometheus_text,
+    latency_percentiles,
+    latency_summary,
+    percentile,
+)
 
 
 def test_stream_is_reproducible():
@@ -99,3 +104,19 @@ def test_latency_percentiles_and_summary():
     assert s["max"] == 100.0
     assert s["mean"] == pytest.approx(50.5)
     assert latency_summary([])["count"] == 0
+
+
+def test_prometheus_quantile_labels_are_fractional():
+    """Summary quantile labels follow the Prometheus convention
+    (quantile="0.5"), not the p50/p95/p99 report keys."""
+    report = {
+        "counters": {"completed": 3},
+        "workers": 1,
+        "latency_s": {"count": 3, "p50": 0.1, "p95": 0.2, "p99": 0.3},
+        "per_worker": [],
+    }
+    text = fabric_prometheus_text(report)
+    assert 'repro_fabric_latency_seconds{quantile="0.5"} 0.1' in text
+    assert 'repro_fabric_latency_seconds{quantile="0.95"} 0.2' in text
+    assert 'repro_fabric_latency_seconds{quantile="0.99"} 0.3' in text
+    assert 'quantile="50"' not in text

@@ -118,6 +118,18 @@ def test_killed_pool_worker_raises_typed_crash_error(monkeypatch):
     assert "packet index 0" in str(err)
 
 
+def test_runtime_tracks_warmed_shapes(cases):
+    """warmed_shapes mirrors the linked-program shapes; the fabric uses
+    it to seed shape-affinity state for workers forked from a template."""
+    runtime = ModemRuntime()
+    assert runtime.warmed_shapes == set()
+    runtime.warm_up(cases[0].rx)
+    shape = (int(cases[0].rx.shape[1]), 2)
+    assert runtime.warmed_shapes == {shape}
+    runtime.run_packet(cases[1].rx)  # same shape: still one entry
+    assert runtime.warmed_shapes == {shape}
+
+
 def test_run_timed_reports_per_packet_wall(cases):
     batch = BatchReceiver()
     subset = [case.rx for case in cases[:2]]

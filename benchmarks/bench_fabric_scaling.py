@@ -73,6 +73,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, metavar="DIR", help="report directory (default benchmarks/out)"
     )
+    parser.add_argument(
+        "--interpreter",
+        default="decoded",
+        choices=("decoded", "compiled", "reference"),
+        help="interpreter tier for the template runtime (default decoded); "
+        "'compiled' also exercises the shared on-disk codegen cache",
+    )
     parser.add_argument("--cfo", type=float, default=50e3, help="carrier offset in Hz")
     parser.add_argument("--seed", type=int, default=42, help="base packet seed")
     parser.add_argument(
@@ -94,7 +101,7 @@ def main(argv=None) -> int:
 
     cases = generate_packets(args.packets, base_seed=args.seed, cfo_hz=args.cfo)
 
-    template = ModemRuntime(cache_dir=args.cache)
+    template = ModemRuntime(cache_dir=args.cache, interpreter=args.interpreter)
     t0 = time.perf_counter()
     template.warm_up(cases[0].rx)
     warmup_wall = time.perf_counter() - t0
@@ -157,6 +164,9 @@ def main(argv=None) -> int:
         misses = sum(
             w["spinup_schedule_misses"] or 0 for w in report["per_worker"]
         )
+        codegen = sum(
+            w["spinup_codegen_compilations"] or 0 for w in report["per_worker"]
+        )
         pps = len(cases) / wall
         entry = {
             "workers": n_workers,
@@ -170,6 +180,7 @@ def main(argv=None) -> int:
             },
             "worker_crashes": report["counters"]["worker_crashes"],
             "spinup_schedule_misses": misses,
+            "spinup_codegen_compilations": codegen,
         }
         scaling.append(entry)
         print(

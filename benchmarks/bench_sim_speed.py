@@ -1,26 +1,26 @@
 #!/usr/bin/env python
-"""Simulator speed: host-side simulated cycles per second.
+"""Simulator speed: host-side simulated cycles per second, per tier.
 
 Times the full reference-modem packet (the paper's profiled MIMO-OFDM
-workload) under the decoded fast-path interpreter and reports
+workload) under the interpreter tiers and reports
 ``host_cycles_per_sec`` — total simulated cycles divided by host wall
 seconds.  This is the per-PR trajectory metric of the simulator itself,
 separate from the modelled processor's numbers.
 
-Two numbers are measured, because the workload has two cost centres:
+The sweep structure:
 
 * the **cold** run (the primary ``wall_s``/``host_cycles_per_sec``)
-  includes the modulo-scheduler compile of every kernel, exactly what a
-  fresh benchmark session pays;
-* the **warm** run repeats the packet with the process-wide schedule
-  cache populated, isolating pure simulation speed
-  (``extra.warm_host_cycles_per_sec``).
+  uses the decoded tier and includes the modulo-scheduler compile of
+  every kernel, exactly what a fresh benchmark session pays;
+* a **warm** run per tier (``decoded`` and ``compiled`` always,
+  ``reference`` with ``--reference``) repeats the packet with the
+  process-wide schedule and codegen caches populated, isolating pure
+  simulation speed; per-tier numbers land in ``extra.tiers`` and the
+  pairwise ratios in ``extra.speedups``.
 
-With ``--reference`` the same warm packet also runs under the reference
-interpreter, the warm decoded/reference speedup lands in ``extra`` and
-the two runs' cycle counts and decoded bits are checked for equality
-(the bit-exact contract; the exhaustive diff lives in
-``tests/sim/test_differential.py``).
+Every warm run's cycle count and decoded bits are checked for equality
+against the cold run (the bit-exact contract; the exhaustive diff lives
+in ``tests/sim/test_differential.py``).
 
 Writes ``BENCH_sim_speed.json`` through ``reporting.write_bench_report``
 and validates it against ``bench_report.schema.json``; exit status 0 on
@@ -56,7 +56,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--reference",
         action="store_true",
-        help="also time the reference interpreter and report the speedup",
+        help="include the (slow) reference interpreter in the warm sweep",
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR", help="report directory (default benchmarks/out)"
@@ -70,35 +70,59 @@ def main(argv=None) -> int:
         "decoded (cold, incl. compile): %d cycles in %.2fs -> %.0f cycles/s (ber=%g)"
         % (stats.total_cycles, wall, cps, run.ber)
     )
-    warm, warm_wall = timed_run("decoded")
-    warm_cps = warm.output.stats.total_cycles / warm_wall
-    print(
-        "decoded (warm schedule cache): %.3fs -> %.0f cycles/s" % (warm_wall, warm_cps)
-    )
+
+    tier_names = ["decoded", "compiled"]
+    if args.reference:
+        tier_names.append("reference")
+    tiers = {}
+    for tier in tier_names:
+        # Prime the tier's process-wide caches (codegen for "compiled";
+        # decoded/schedule already warm from the cold run) so the timed
+        # run measures steady-state simulation only.
+        timed_run(tier)
+        warm, warm_wall = timed_run(tier)
+        warm_cps = warm.output.stats.total_cycles / warm_wall
+        print("%s (warm): %.3fs -> %.0f cycles/s" % (tier, warm_wall, warm_cps))
+        if warm.output.stats.total_cycles != stats.total_cycles:
+            print(
+                "FAIL: cycle counts differ (%s tier vs cold decoded)" % tier,
+                file=sys.stderr,
+            )
+            return 1
+        if list(warm.output.bits) != list(run.output.bits):
+            print(
+                "FAIL: decoded bits differ (%s tier vs cold decoded)" % tier,
+                file=sys.stderr,
+            )
+            return 1
+        tiers[tier] = {
+            "warm_wall_s": round(warm_wall, 6),
+            "warm_host_cycles_per_sec": round(warm_cps, 3),
+        }
+
+    speedups = {}
+    for num, den in (
+        ("compiled", "decoded"),
+        ("decoded", "reference"),
+        ("compiled", "reference"),
+    ):
+        if num in tiers and den in tiers:
+            ratio = (
+                tiers[num]["warm_host_cycles_per_sec"]
+                / tiers[den]["warm_host_cycles_per_sec"]
+            )
+            speedups["%s_vs_%s" % (num, den)] = round(ratio, 3)
+            print("warm %s/%s speedup: %.2fx" % (num, den, ratio))
+
     extra = {
         "interpreter": "decoded",
         "ber": run.ber,
-        "warm_wall_s": round(warm_wall, 6),
-        "warm_host_cycles_per_sec": round(warm_cps, 3),
+        # Back-compat fields: the decoded tier's warm numbers.
+        "warm_wall_s": tiers["decoded"]["warm_wall_s"],
+        "warm_host_cycles_per_sec": tiers["decoded"]["warm_host_cycles_per_sec"],
+        "tiers": tiers,
+        "speedups": speedups,
     }
-
-    if args.reference:
-        ref, ref_wall = timed_run("reference")
-        ref_cps = ref.output.stats.total_cycles / ref_wall
-        print(
-            "reference (warm): %d cycles in %.3fs -> %.0f cycles/s"
-            % (ref.output.stats.total_cycles, ref_wall, ref_cps)
-        )
-        if ref.output.stats.total_cycles != stats.total_cycles:
-            print("FAIL: cycle counts differ between interpreters", file=sys.stderr)
-            return 1
-        if list(ref.output.bits) != list(run.output.bits):
-            print("FAIL: decoded bits differ between interpreters", file=sys.stderr)
-            return 1
-        extra["reference_wall_s"] = round(ref_wall, 6)
-        extra["reference_host_cycles_per_sec"] = round(ref_cps, 3)
-        extra["speedup_vs_reference"] = round(warm_cps / ref_cps, 3)
-        print("warm decoded/reference speedup: %.2fx" % (warm_cps / ref_cps))
 
     path = reporting.write_bench_report(
         "sim_speed", out_dir=args.out, wall_s=wall, stats=stats, extra=extra

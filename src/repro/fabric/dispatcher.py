@@ -65,6 +65,7 @@ class WorkerState:
     busy_s: float = 0.0
     spinup_s: Optional[float] = None
     spinup_schedule_misses: Optional[int] = None
+    spinup_codegen_compilations: Optional[int] = None
     pid: Optional[int] = None
 
     @property

@@ -414,6 +414,7 @@ class Fabric:
             info = msg[2]
             state.spinup_s = info.get("spinup_s")
             state.spinup_schedule_misses = info.get("schedule_misses")
+            state.spinup_codegen_compilations = info.get("codegen_compilations")
             return
         if tag == MSG_BYE:
             return
@@ -579,6 +580,7 @@ class Fabric:
                     "shapes": len(state.shapes),
                     "spinup_s": state.spinup_s,
                     "spinup_schedule_misses": state.spinup_schedule_misses,
+                    "spinup_codegen_compilations": state.spinup_codegen_compilations,
                 }
             )
         return {

@@ -63,6 +63,12 @@ def _schedule_misses() -> int:
     return int(schedule_cache_stats().get("misses", 0))
 
 
+def _codegen_compilations() -> int:
+    from repro.sim.codegen import codegen_stats
+
+    return int(codegen_stats().get("compilations", 0))
+
+
 def worker_main(
     index: int,
     task_conn,
@@ -77,6 +83,7 @@ def worker_main(
         except OSError:
             pass
     misses_before = _schedule_misses()
+    codegen_before = _codegen_compilations()
     t0 = time.perf_counter()
     runner = runner_factory()
     result_conn.send(
@@ -86,6 +93,7 @@ def worker_main(
             {
                 "spinup_s": time.perf_counter() - t0,
                 "schedule_misses": _schedule_misses() - misses_before,
+                "codegen_compilations": _codegen_compilations() - codegen_before,
             },
         )
     )

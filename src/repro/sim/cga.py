@@ -28,6 +28,7 @@ cycle count.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -36,11 +37,11 @@ from repro.isa.bits import MASK32, MASK64
 from repro.isa.opcodes import MAX_OP_LATENCY, OpGroup, group_of, latency_of
 from repro.isa.semantics import execute as exec_semantics
 from repro.sim import memops
+from repro.sim import codegen
 from repro.sim.decode import (
     COMMIT_RING_SLOTS,
     KIND_DATAFLOW,
     KIND_LOAD,
-    DecodedKernel,
     decode_kernel,
 )
 from repro.sim.memory import Scratchpad
@@ -53,6 +54,14 @@ from repro.trace.tracer import NULL_TRACER, Tracer
 
 class CgaFault(Exception):
     """Raised on illegal configurations (bad routing, port abuse, caps)."""
+
+
+#: Bound on the per-engine decoded/compiled kernel caches.  A long-lived
+#: process (a fabric worker) linking many ``patch_constants`` program
+#: variants used to pin every kernel it ever ran through the id-keyed
+#: decode cache; an LRU this size keeps every live receiver region hot
+#: while letting retired variants be collected.
+KERNEL_CACHE_BOUND = 16
 
 
 @dataclass
@@ -87,12 +96,22 @@ class CgaEngine:
         #: Output latches.  Decoded source readers capture this exact
         #: list object, so it is reset in place, never rebound.
         self._out_latch: List[int] = [0] * arch.n_units
-        #: Decoded-kernel cache keyed by kernel object identity; the
-        #: :class:`DecodedKernel` pins the kernel so ids cannot alias.
-        self._decoded: Dict[int, DecodedKernel] = {}
+        #: Decoded-kernel LRU keyed by kernel object identity, bounded by
+        #: :data:`KERNEL_CACHE_BOUND`.  Each entry pins its kernel, so a
+        #: *live* id can never alias; a recycled id of a collected kernel
+        #: is caught by the ``dk.kernel is not kernel`` check and evicted.
+        self._decoded: OrderedDict = OrderedDict()
+        #: Compiled-runner LRU (tier 3), same keying and bound.  Values
+        #: are ``(kernel, fn, imms)``; ``fn is None`` marks a kernel the
+        #: generator refused (static port-pressure proof failed) so every
+        #: later run falls straight back to the decoded tier.
+        self._compiled: OrderedDict = OrderedDict()
         #: When False, :meth:`run` uses the reference interpreter
         #: (:meth:`run_reference`) instead of the decoded fast path.
         self.use_decoded = True
+        #: When True (and ``use_decoded``), :meth:`run` prefers the
+        #: generated straight-line runner from :mod:`repro.sim.codegen`.
+        self.use_compiled = False
 
     # ------------------------------------------------------------------
 
@@ -162,16 +181,25 @@ class CgaEngine:
     def run(self, kernel: CgaKernel, start_cycle: int) -> int:
         """Execute *kernel*; returns the physical cycle after completion.
 
-        This is the decoded fast path: the kernel is lowered once by
-        :mod:`repro.sim.decode` (cached by object identity) and the
-        per-cycle loop runs over pre-sorted operations with bound
-        handlers, pre-resolved source readers and a commit ring instead
-        of a linear pending-write scan.  It is bit-identical to
-        :meth:`run_reference` in architectural state, cycle counts and
-        :class:`ActivityStats` (``tests/sim/test_differential.py``).
+        Dispatches to the selected interpreter tier: the reference
+        interpreter, the decoded fast path (default), or the generated
+        straight-line runner.  All three are bit-identical in
+        architectural state, cycle counts and :class:`ActivityStats`
+        (``tests/sim/test_differential.py``).
         """
         if not self.use_decoded:
             return self.run_reference(kernel, start_cycle)
+        if self.use_compiled:
+            return self.run_compiled(kernel, start_cycle)
+        return self.run_decoded(kernel, start_cycle)
+
+    def run_compiled(self, kernel: CgaKernel, start_cycle: int) -> int:
+        """Tier-3 path: run the kernel's generated specialized function.
+
+        Falls back to :meth:`run_decoded` (permanently, per kernel) when
+        :mod:`repro.sim.codegen` cannot statically prove central-RF port
+        safety for this kernel.
+        """
         trip = kernel.trip_count
         if trip is None:
             if kernel.trip_count_reg is None:
@@ -179,8 +207,77 @@ class CgaEngine:
             trip = self.cdrf.peek(kernel.trip_count_reg) & MASK32
         if trip <= 0:
             return start_cycle
-        dk = self._decoded.get(id(kernel))
-        if dk is None or dk.kernel is not kernel:
+        kid = id(kernel)
+        entry = self._compiled.get(kid)
+        if entry is not None and entry[0] is not kernel:
+            entry = None  # recycled id of a collected kernel
+        if entry is None:
+            try:
+                fn, imms = codegen.cga_runner(
+                    kernel,
+                    self.arch,
+                    CgaFault,
+                    cdrf_ports=(self.cdrf.read_ports, self.cdrf.write_ports),
+                    cprf_ports=(self.cprf.read_ports, self.cprf.write_ports),
+                )
+            except codegen.CodegenUnsupported:
+                fn = imms = None
+            entry = (kernel, fn, imms)
+            self._compiled[kid] = entry
+            if len(self._compiled) > KERNEL_CACHE_BOUND:
+                self._compiled.popitem(last=False)
+        else:
+            self._compiled.move_to_end(kid)
+        _, fn, imms = entry
+        if fn is None:
+            return self.run_decoded(kernel, start_cycle)
+
+        stats = self.stats
+        local_rfs = self.local_rfs
+        cdrf_peek = self.cdrf.peek
+        for preload in kernel.preloads:
+            if preload.fu not in local_rfs:
+                raise CgaFault("preload targets FU%d without a local RF" % preload.fu)
+            local_rfs[preload.fu].write(preload.lrf_index, cdrf_peek(preload.cdrf_reg))
+            stats.cdrf_reads += 1
+        preload_cycles = (len(kernel.preloads) + 1) // 2
+        start_cycle += preload_cycles
+        out_latch = self._out_latch
+        for i in range(len(out_latch)):
+            out_latch[i] = 0
+        return fn(
+            trip,
+            start_cycle,
+            preload_cycles,
+            imms,
+            out_latch,
+            self.cdrf._regs,
+            self.cprf._regs,
+            local_rfs,
+            stats,
+            self.scratchpad.timed_read,
+            self.scratchpad.timed_write,
+        )
+
+    def run_decoded(self, kernel: CgaKernel, start_cycle: int) -> int:
+        """Tier-2 path: the kernel is lowered once by
+        :mod:`repro.sim.decode` (LRU-cached by object identity) and the
+        per-cycle loop runs over pre-sorted operations with bound
+        handlers, pre-resolved source readers and a commit ring instead
+        of a linear pending-write scan.
+        """
+        trip = kernel.trip_count
+        if trip is None:
+            if kernel.trip_count_reg is None:
+                raise CgaFault("kernel %s has no trip count" % kernel.name)
+            trip = self.cdrf.peek(kernel.trip_count_reg) & MASK32
+        if trip <= 0:
+            return start_cycle
+        kid = id(kernel)
+        dk = self._decoded.get(kid)
+        if dk is not None and dk.kernel is not kernel:
+            dk = None  # recycled id of a collected kernel
+        if dk is None:
             dk = decode_kernel(
                 kernel,
                 self.arch,
@@ -191,7 +288,11 @@ class CgaEngine:
                 self.stats,
                 CgaFault,
             )
-            self._decoded[id(kernel)] = dk
+            self._decoded[kid] = dk
+            if len(self._decoded) > KERNEL_CACHE_BOUND:
+                self._decoded.popitem(last=False)
+        else:
+            self._decoded.move_to_end(kid)
 
         stats = self.stats
         local_rfs = self.local_rfs

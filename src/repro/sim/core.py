@@ -47,8 +47,10 @@ class Core:
         tracer: Optional[Tracer] = None,
         interpreter: str = "decoded",
     ) -> None:
-        if interpreter not in ("decoded", "reference"):
-            raise ValueError("interpreter must be 'decoded' or 'reference'")
+        if interpreter not in ("decoded", "reference", "compiled"):
+            raise ValueError(
+                "interpreter must be 'decoded', 'reference' or 'compiled'"
+            )
         self.arch = arch
         self.program = program
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -97,9 +99,12 @@ class Core:
             stats=self.stats,
             tracer=self.tracer,
         )
-        use_decoded = interpreter == "decoded"
+        use_decoded = interpreter in ("decoded", "compiled")
         self.vliw.use_decoded = use_decoded
         self.cga.use_decoded = use_decoded
+        use_compiled = interpreter == "compiled"
+        self.vliw.use_compiled = use_compiled
+        self.cga.use_compiled = use_compiled
         self.cycle = 0
         self.pc = 0
         self.halted = False

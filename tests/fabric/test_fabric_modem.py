@@ -58,6 +58,7 @@ def test_fabric_results_bit_identical_to_serial(template, cases, serial_outputs)
     # Forked workers inherit the linked template: spin-up scheduled nothing.
     for worker in report["per_worker"]:
         assert worker["spinup_schedule_misses"] == 0
+        assert worker["spinup_codegen_compilations"] == 0
     assert report["counters"]["completed"] == len(cases)
     assert report["counters"]["worker_crashes"] == 0
 

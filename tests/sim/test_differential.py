@@ -1,12 +1,13 @@
-"""Differential harness: decoded fast path vs. reference interpreter.
+"""Differential harness: all three interpreter tiers against each other.
 
-Every program here runs under both interpreters
-(``Core(interpreter="decoded")`` and ``Core(interpreter="reference")``)
+Every program here runs under ``Core(interpreter="decoded")``,
+``Core(interpreter="reference")`` and ``Core(interpreter="compiled")``
 and the final machine state must be **bit-identical**: cycle counts,
 every register file, scratchpad memory, and the full
 :class:`~repro.sim.stats.ActivityStats` including per-cause stall
 counters.  This is the correctness contract of the pre-decode layer
-(`src/repro/sim/decode.py`): lowering is an optimisation, never a
+(`src/repro/sim/decode.py`) and of the tier-3 code generator
+(`src/repro/sim/codegen.py`): lowering is an optimisation, never a
 semantic change.
 """
 
@@ -73,10 +74,13 @@ def assert_identical(decoded: Core, reference: Core) -> None:
         assert dec == ref, "stats.%s differs" % name
 
 
+INTERPRETERS = ("decoded", "reference", "compiled")
+
+
 def run_both(program, pokes=(), mem=(), arch=None):
-    """Run *program* under both interpreters and diff the final state."""
+    """Run *program* under all interpreter tiers and diff the final state."""
     cores = []
-    for interpreter in ("decoded", "reference"):
+    for interpreter in INTERPRETERS:
         core = Core(arch or paper_core(), program, interpreter=interpreter)
         for reg, value in pokes:
             core.cdrf.poke(reg, value)
@@ -84,7 +88,8 @@ def run_both(program, pokes=(), mem=(), arch=None):
             core.scratchpad.write_word(addr, value, size)
         core.run()
         cores.append(core)
-    assert_identical(cores[0], cores[1])
+    for other in cores[1:]:
+        assert_identical(cores[0], other)
     return cores[0]
 
 
@@ -299,6 +304,34 @@ def test_repeated_kernel_entry_uses_cache():
     assert len(core.kernel_log) == 2
 
 
+def test_patched_constants_differential():
+    """``patch_constants`` variants stay bit-identical across tiers and
+    share one compiled artifact (signatures exclude immediate values)."""
+    from repro.sim import codegen
+    from repro.sim.program import patch_constants
+
+    sentinel = 0xDEAD01
+    op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.imm(sentinel)),
+        dsts=(DstSel(DstKind.CDRF, 10, last_iteration_only=True),),
+    )
+    kernel = CgaKernel(
+        name="patched", ii=1, stage_count=1,
+        contexts=[CgaContext(ops={0: op})], trip_count=6,
+    )
+    template = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    before = codegen.codegen_stats()["compilations"]
+    results = []
+    for value in (3, 11, -5):
+        core = run_both(patch_constants(template, {sentinel: value}))
+        results.append(core.cdrf.peek(10))
+        assert core.cdrf.peek(10) == (6 * value) & 0xFFFFFFFF  # ADD wraps at 32b
+    assert len(set(results)) == 3
+    # One compile covers all variants: only the immediate pool differs.
+    assert codegen.codegen_stats()["compilations"] - before <= 1
+
+
 # ----------------------------------------------------------------------
 # VLIW control flow, scoreboard, memory
 # ----------------------------------------------------------------------
@@ -423,14 +456,15 @@ def test_compiled_fshift_differential():
         trip=n // 2,
     )
     cores = []
-    for interpreter in ("decoded", "reference"):
+    for interpreter in INTERPRETERS:
         core = Core(arch, program, interpreter=interpreter)
         store_complex_array(core.scratchpad, 0, re, im)
         for k, w in enumerate(table):
             core.scratchpad.write_word(1024 + 8 * k, w, 8)
         core.run()
         cores.append(core)
-    assert_identical(cores[0], cores[1])
+    for other in cores[1:]:
+        assert_identical(cores[0], other)
 
 
 def test_compiled_xcorr_differential():
@@ -451,10 +485,11 @@ def test_compiled_xcorr_differential():
         trip=n // 2,
     )
     cores = []
-    for interpreter in ("decoded", "reference"):
+    for interpreter in INTERPRETERS:
         core = Core(arch, program, interpreter=interpreter)
         store_complex_array(core.scratchpad, 0, sig_re, sig_im)
         store_complex_array(core.scratchpad, 2048, ref_re, ref_im)
         core.run()
         cores.append(core)
-    assert_identical(cores[0], cores[1])
+    for other in cores[1:]:
+        assert_identical(cores[0], other)

@@ -16,19 +16,31 @@ CPU cores as the largest worker count; on smaller hosts the bench
 records the measured speedup and prints a SKIP note instead, since
 forked workers time-slicing one core cannot scale.
 
+With ``--obs-check`` the largest fabric size runs twice more,
+back-to-back: a control run, then a run with the live telemetry server
+up and a greedy scraper thread hammering ``/metrics`` + ``/healthz``
+for the whole batch.  The scraped run must stay bit-identical to the
+serial baseline and within ``--obs-max-slowdown`` (default 2%) of the
+control throughput — proving observation does not perturb the
+observed.  Each mode takes its best of two attempts so one scheduler
+hiccup cannot fail the gate.
+
 Writes ``BENCH_fabric_scaling.json`` through
 ``reporting.write_bench_report`` and validates it against
 ``fabric_scaling.schema.json``; exit status 0 on success.
 
 Run:  PYTHONPATH=src python benchmarks/bench_fabric_scaling.py \\
-          [--packets N] [--workers-list 1,2,4] [--cache DIR] [--out DIR]
+          [--packets N] [--workers-list 1,2,4] [--cache DIR] [--out DIR] \\
+          [--obs-check]
 """
 
 import argparse
 import json
 import os
 import sys
+import threading
 import time
+import urllib.request
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
@@ -51,6 +63,82 @@ def _identical(fabric_out, serial_out) -> bool:
         and fabric_out.stats == serial_out.stats
         and fabric_out.image == serial_out.image
     )
+
+
+def _scrape_loop(url: str, stop: threading.Event, counts: dict) -> None:
+    """Hammer the telemetry endpoints until stopped (the obs-check load)."""
+    while not stop.is_set():
+        for path in ("/metrics", "/healthz"):
+            try:
+                with urllib.request.urlopen(url + path, timeout=5) as resp:
+                    resp.read()
+                counts["scrapes"] += 1
+            except OSError:
+                counts["errors"] += 1
+        stop.wait(0.01)
+
+
+def _timed_run(fab, cases, serial_outputs) -> "tuple":
+    """One fabric batch: (wall_s, all-results-bit-identical)."""
+    t0 = time.perf_counter()
+    ids = [fab.submit(case.rx) for case in cases]
+    results = fab.drain(timeout=600)
+    wall = time.perf_counter() - t0
+    ok = all(
+        _identical(results[task_id], serial_out)
+        for task_id, serial_out in zip(ids, serial_outputs)
+    )
+    return wall, ok
+
+
+def _obs_check(args, template, cases, serial_outputs, n_workers) -> dict:
+    """Control vs scraped-fabric throughput on *n_workers* workers.
+
+    Best of two attempts per mode: a single scheduler hiccup on a busy
+    host must not be able to fail the perturbation gate.
+    """
+    walls = {"control": [], "observed": []}
+    identical = True
+    scrapes = {"scrapes": 0, "errors": 0}
+    for attempt in range(2):
+        for mode in ("control", "observed"):
+            fab = Fabric(
+                workers=n_workers,
+                template_runtime=template,
+                cache_dir=args.cache,
+                queue_depth=max(4, args.packets),
+                name="obs-check-%s" % mode,
+                obs_port=0 if mode == "observed" else None,
+            )
+            with fab:
+                stop = threading.Event()
+                scraper = None
+                if mode == "observed":
+                    scraper = threading.Thread(
+                        target=_scrape_loop,
+                        args=(fab.obs_url, stop, scrapes),
+                        daemon=True,
+                    )
+                    scraper.start()
+                wall, ok = _timed_run(fab, cases, serial_outputs)
+                stop.set()
+                if scraper is not None:
+                    scraper.join(timeout=5)
+            walls[mode].append(wall)
+            identical = identical and ok
+    pps_control = len(cases) / min(walls["control"])
+    pps_observed = len(cases) / min(walls["observed"])
+    slowdown = max(0.0, 1.0 - pps_observed / pps_control)
+    return {
+        "workers": n_workers,
+        "control_packets_per_sec": round(pps_control, 3),
+        "observed_packets_per_sec": round(pps_observed, 3),
+        "slowdown": round(slowdown, 4),
+        "max_slowdown": args.obs_max_slowdown,
+        "scrapes": scrapes["scrapes"],
+        "scrape_errors": scrapes["errors"],
+        "bit_identical": identical,
+    }
 
 
 def main(argv=None) -> int:
@@ -88,6 +176,20 @@ def main(argv=None) -> int:
         default=3.0,
         help="required best-fabric speedup over serial when the host has "
         "enough cores (default 3.0)",
+    )
+    parser.add_argument(
+        "--obs-check",
+        action="store_true",
+        help="re-run the largest fabric with the telemetry server up and a "
+        "scraper thread hammering it; fail if scraping perturbs results "
+        "or costs more than --obs-max-slowdown throughput",
+    )
+    parser.add_argument(
+        "--obs-max-slowdown",
+        type=float,
+        default=0.02,
+        help="max fractional throughput loss tolerated under scraping "
+        "(default 0.02 = 2%%)",
     )
     args = parser.parse_args(argv)
     if args.packets < 1:
@@ -224,6 +326,40 @@ def main(argv=None) -> int:
             % (cpu_count, max(worker_counts), best_speedup)
         )
 
+    obs_check = None
+    if args.obs_check:
+        obs_check = _obs_check(
+            args, template, cases, serial_outputs, max(worker_counts)
+        )
+        print(
+            "obs-check (%d workers): control %.2f pps vs observed %.2f pps "
+            "under %d scrapes -> %.1f%% slowdown (limit %.1f%%)"
+            % (
+                obs_check["workers"],
+                obs_check["control_packets_per_sec"],
+                obs_check["observed_packets_per_sec"],
+                obs_check["scrapes"],
+                100 * obs_check["slowdown"],
+                100 * args.obs_max_slowdown,
+            )
+        )
+        if not obs_check["bit_identical"]:
+            print("FAIL: results under scraping differ from serial", file=sys.stderr)
+            return 1
+        if obs_check["scrape_errors"]:
+            print(
+                "FAIL: %d scrape(s) errored mid-run" % obs_check["scrape_errors"],
+                file=sys.stderr,
+            )
+            return 1
+        if obs_check["slowdown"] > args.obs_max_slowdown:
+            print(
+                "FAIL: scraping cost %.1f%% throughput (> %.1f%% allowed)"
+                % (100 * obs_check["slowdown"], 100 * args.obs_max_slowdown),
+                file=sys.stderr,
+            )
+            return 1
+
     extra = {
         "packets": len(cases),
         "cpu_count": cpu_count,
@@ -241,6 +377,7 @@ def main(argv=None) -> int:
             },
         },
         "scaling": scaling,
+        "obs_check": obs_check,
     }
     path = reporting.write_bench_report(
         "fabric_scaling",

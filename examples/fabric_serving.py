@@ -14,12 +14,20 @@ Every completed packet is checked against its ground-truth payload,
 then the fabric report is printed as JSON next to its Prometheus
 rendering.
 
+With ``--obs-port`` the fabric also serves its live telemetry plane
+(``/metrics``, ``/healthz``, ``/report.json``, ``/events.json``) for
+the whole run — point a browser or ``curl`` at the printed URL while
+the stream is in flight — and the script self-scrapes ``/metrics``
+once at the end to prove the exposition page lints clean.
+
 Run:  PYTHONPATH=src python examples/fabric_serving.py \\
-          [--duration 10] [--rate 3] [--workers 4]
+          [--duration 10] [--rate 3] [--workers 4] [--obs-port 9100]
 """
 
 import argparse
+import json
 import time
+import urllib.request
 
 import numpy as np
 
@@ -42,6 +50,13 @@ def main(argv=None) -> int:
     parser.add_argument("--rate", type=float, default=3.0, help="mean arrivals/s")
     parser.add_argument("--workers", type=int, default=4, help="fabric size")
     parser.add_argument("--seed", type=int, default=7, help="stream seed")
+    parser.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        help="serve live /metrics, /healthz, /report.json on this port "
+        "(0 picks a free one; omit to disable)",
+    )
     args = parser.parse_args(argv)
 
     fab = Fabric(
@@ -51,11 +66,17 @@ def main(argv=None) -> int:
         deadline_s=5.0,
         queue_depth=8,
         name="serving",
+        obs_port=args.obs_port,
     )
     print("warming the parent template (workers fork it fully linked) ...")
     t0 = time.perf_counter()
     fab.start(warm_packets=[make_packet(0, cfo_hz=50e3).rx])
     print("fabric of %d worker(s) up in %.2fs" % (args.workers, time.perf_counter() - t0))
+    if fab.obs_url is not None:
+        print(
+            "live telemetry at %s  (try: curl %s/metrics)"
+            % (fab.obs_url, fab.obs_url)
+        )
 
     events = poisson_stream(
         rate_hz=args.rate,
@@ -72,6 +93,20 @@ def main(argv=None) -> int:
     offered = run_stream(fab, events, realtime=True)
     results = fab.drain(timeout=300)
     report = fab.report()
+    if fab.obs_url is not None:
+        # Self-scrape while the server is still up: the page must lint
+        # clean and /healthz must agree the fabric is serving.
+        from repro.obs import lint_exposition
+
+        page = urllib.request.urlopen(fab.obs_url + "/metrics", timeout=5).read()
+        problems = lint_exposition(page.decode("utf-8"))
+        assert not problems, "exposition lint failed: %s" % problems
+        with urllib.request.urlopen(fab.obs_url + "/healthz", timeout=5) as resp:
+            health = json.loads(resp.read())
+        print(
+            "self-scrape: /metrics %d bytes (lint clean), /healthz %s"
+            % (len(page), health["status"])
+        )
     fab.shutdown()
 
     truth = stream_truth(offered)

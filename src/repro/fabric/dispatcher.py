@@ -67,6 +67,28 @@ class WorkerState:
     spinup_schedule_misses: Optional[int] = None
     spinup_codegen_compilations: Optional[int] = None
     pid: Optional[int] = None
+    # -- liveness: the slot's last heartbeat, parent-side --------------
+    #: Parent monotonic clock at the last heartbeat (None: none yet
+    #: this incarnation).
+    last_heartbeat_ts: Optional[float] = None
+    #: Heartbeats received across all incarnations of this slot.
+    heartbeats: int = 0
+    #: Tasks the worker reported completed in its last heartbeat.
+    hb_task_seq: Optional[int] = None
+    #: Cumulative simulated cycles per the last heartbeat.
+    hb_host_cycles: int = 0
+    #: Worker resident set size per the last heartbeat.
+    hb_rss_bytes: int = 0
+    #: Cumulative per-cause stall cycles per the last heartbeat.
+    hb_stall_causes: Dict[str, int] = field(default_factory=dict)
+
+    def clear_heartbeat(self) -> None:
+        """Forget the dead incarnation's liveness state (on respawn)."""
+        self.last_heartbeat_ts = None
+        self.hb_task_seq = None
+        self.hb_host_cycles = 0
+        self.hb_rss_bytes = 0
+        self.hb_stall_causes = {}
 
     @property
     def load(self) -> int:

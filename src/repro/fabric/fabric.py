@@ -41,17 +41,20 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.compiler.linker import schedule_cache_dir
+from repro.compiler.linker import schedule_cache_dir, schedule_cache_stats
 from repro.fabric.dispatcher import Dispatcher, FabricTask, WorkerState
 from repro.fabric.report import FABRIC_REPORT_SCHEMA, latency_summary
 from repro.fabric.worker import (
     MSG_BYE,
     MSG_ERROR,
+    MSG_HEARTBEAT,
     MSG_READY,
     MSG_RESULT,
     default_runner_factory,
     worker_main,
 )
+from repro.obs.heartbeat import Watchdog
+from repro.obs.window import EventLog, MetricsWindow
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 #: Supported submission backpressure modes.
@@ -123,6 +126,12 @@ class Fabric:
         runner_factory: Optional[Callable[[], object]] = None,
         tracer: Optional[Tracer] = None,
         name: str = "fabric",
+        heartbeat_s: float = 1.0,
+        watchdog_intervals: int = 5,
+        watchdog_escalate: bool = False,
+        window_s: float = 60.0,
+        obs_host: str = "127.0.0.1",
+        obs_port: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a fabric needs at least one worker, got %d" % workers)
@@ -137,6 +146,10 @@ class Fabric:
             raise ValueError("max_inflight must be >= 1, got %d" % max_inflight)
         if backpressure == "deadline" and deadline_s is None:
             raise ValueError("deadline backpressure needs a default deadline_s")
+        if heartbeat_s < 0:
+            raise ValueError("heartbeat_s must be >= 0, got %r" % (heartbeat_s,))
+        if window_s <= 0:
+            raise ValueError("window_s must be positive, got %r" % (window_s,))
         self.n_workers = int(workers)
         self.policy = policy
         self.backpressure = backpressure
@@ -166,10 +179,28 @@ class Fabric:
             "task_errors": 0,
             "worker_crashes": 0,
             "respawns": 0,
+            "heartbeats": 0,
+            "watchdog_flags": 0,
+            "watchdog_kills": 0,
         }
         self._started = False
         self._closed = False
         self._t_start: Optional[float] = None
+        # -- live telemetry plane (repro.obs) --------------------------
+        self.heartbeat_s = float(heartbeat_s)
+        self._window = MetricsWindow(horizon_s=window_s)
+        self._event_log = EventLog(capacity=256)
+        self._watchdog: Optional[Watchdog] = None
+        if self.heartbeat_s > 0 and watchdog_intervals > 0:
+            self._watchdog = Watchdog(
+                interval_s=self.heartbeat_s,
+                miss_intervals=watchdog_intervals,
+                escalate=watchdog_escalate,
+            )
+        self._obs_host = obs_host
+        self._obs_port = obs_port
+        self._obs_server = None
+        self._last_pump_ts: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -200,6 +231,15 @@ class Fabric:
             self._spawn(slot)
         self._started = True
         self._t_start = time.perf_counter()
+        if self._obs_port is not None:
+            # Lazy import: repro.obs.server is stdlib-only, but only
+            # fabrics that actually serve telemetry should pay for it.
+            from repro.obs.server import serve_fabric
+
+            self._obs_server = serve_fabric(
+                self, host=self._obs_host, port=self._obs_port
+            )
+            self._event("obs_server_started", {"url": self._obs_server.url})
         return self
 
     def __enter__(self) -> "Fabric":
@@ -229,7 +269,8 @@ class Fabric:
             )
         proc = self._ctx.Process(
             target=worker_main,
-            args=(slot, task_recv, result_send, close_in_child, factory),
+            args=(slot, task_recv, result_send, close_in_child, factory,
+                  self.heartbeat_s),
             name="%s-worker-%d" % (self.name, slot),
             daemon=True,
         )
@@ -243,6 +284,11 @@ class Fabric:
         worker.state.alive = True
         worker.state.stopping = False
         worker.state.pid = proc.pid
+        worker.state.clear_heartbeat()
+        if self._watchdog is not None:
+            # Spawn counts as the first beat: a fresh worker gets a full
+            # grace period before the watchdog may flag it.
+            self._watchdog.reset(slot)
         if respawn:
             # The replacement forked from the parent's warm template, so
             # it holds only the template's warmed shapes — every shape
@@ -252,7 +298,7 @@ class Fabric:
                 getattr(self._template, "warmed_shapes", ()) or ()
             )
             self._counters["respawns"] += 1
-            self._instant("worker_respawn", {"slot": slot, "pid": proc.pid})
+            self._event("worker_respawn", {"slot": slot, "pid": proc.pid})
 
     # ------------------------------------------------------------------
     # Submission and backpressure.
@@ -291,6 +337,7 @@ class Fabric:
                 return None  # shed; already accounted
         self._next_task_id += 1
         self._counters["submitted"] += 1
+        self._window.count("submitted")
         target.assign(task)
         self._feed(self._workers[target.index])
         return task.task_id
@@ -298,7 +345,8 @@ class Fabric:
     def _wait_for_capacity(self, task: FabricTask) -> Optional[WorkerState]:
         if self.backpressure == "drop":
             self._counters["dropped"] += 1
-            self._instant("packet_dropped", {"shape": list(task.shape)})
+            self._window.count("dropped")
+            self._event("packet_dropped", {"shape": list(task.shape)})
             return None
         if self.backpressure == "deadline":
             limit = task.deadline_t
@@ -314,7 +362,8 @@ class Fabric:
                 return target
         if self.backpressure == "deadline":
             self._counters["rejected"] += 1
-            self._instant("packet_rejected", {"shape": list(task.shape)})
+            self._window.count("rejected")
+            self._event("packet_rejected", {"shape": list(task.shape)})
             return None
         raise SubmitTimeout(
             "no queue space within %.1fs (%d outstanding across %d workers)"
@@ -336,8 +385,9 @@ class Fabric:
                 and time.perf_counter() > task.deadline_t
             ):
                 self._counters["rejected"] += 1
+                self._window.count("rejected")
                 self._results[task.task_id] = DeadlineExceeded(task.task_id)
-                self._instant("packet_rejected", {"task": task.task_id, "late": True})
+                self._event("packet_rejected", {"task": task.task_id, "late": True})
                 continue
             try:
                 worker.task_conn.send(
@@ -369,6 +419,7 @@ class Fabric:
 
     def _pump(self, timeout: float) -> bool:
         """One multiplex round over result pipes and process sentinels."""
+        self._last_pump_ts = time.monotonic()
         conns = {}
         sentinels = {}
         for worker in self._workers:
@@ -379,10 +430,9 @@ class Fabric:
         if not conns and not sentinels:
             return False
         ready = connection.wait(list(conns) + list(sentinels), timeout)
-        if not ready:
-            return False
+        progressed = bool(ready)
         dead: List[_Worker] = []
-        for obj in ready:
+        for obj in ready or ():
             worker = conns.get(obj)
             if worker is not None:
                 if not self._drain_conn(worker) and worker not in dead:
@@ -393,7 +443,36 @@ class Fabric:
                     dead.append(worker)
         for worker in dead:
             self._on_worker_death(worker)
-        return True
+        # Watchdog and window sampling run every round, progress or not:
+        # a silent fabric is exactly when liveness checks matter.
+        self._check_watchdog()
+        self._window.observe_depth(
+            self.outstanding, sum(len(w.state.inflight) for w in self._workers)
+        )
+        return progressed
+
+    def _check_watchdog(self) -> None:
+        """Flag (and optionally kill) workers whose heartbeats stopped."""
+        if self._watchdog is None:
+            return
+        for action in self._watchdog.check(self._states()):
+            self._counters["watchdog_flags"] += 1
+            self._window.count("watchdog_flags")
+            self._event(
+                "watchdog_flag",
+                {
+                    "slot": action.slot,
+                    "pid": action.pid,
+                    "heartbeat_age_s": round(action.age_s, 3),
+                    "killed": action.killed,
+                },
+            )
+            if action.killed:
+                # The SIGKILL surfaces through the existing sentinel /
+                # pipe-EOF path: salvage, requeue, respawn — stuck has
+                # been converted into dead, which the fabric knows how
+                # to recover from.
+                self._counters["watchdog_kills"] += 1
 
     def _drain_conn(self, worker: _Worker) -> bool:
         """Read every buffered message; False when the pipe hit EOF."""
@@ -418,6 +497,20 @@ class Fabric:
             return
         if tag == MSG_BYE:
             return
+        if tag == MSG_HEARTBEAT:
+            payload = msg[2]
+            state.last_heartbeat_ts = time.monotonic()
+            state.heartbeats += 1
+            state.hb_task_seq = payload.get("task_seq")
+            state.hb_host_cycles = int(payload.get("host_cycles", 0) or 0)
+            state.hb_rss_bytes = int(payload.get("rss_bytes", 0) or 0)
+            state.hb_stall_causes = dict(payload.get("stall_causes") or {})
+            self._counters["heartbeats"] += 1
+            if self._watchdog is not None and self._watchdog.beat(state.index):
+                self._event(
+                    "worker_recovered", {"slot": state.index, "pid": state.pid}
+                )
+            return
         if tag in (MSG_RESULT, MSG_ERROR):
             task_id, dt = msg[1], msg[2]
             task = state.inflight.pop(task_id, None)
@@ -429,13 +522,17 @@ class Fabric:
             if tag == MSG_ERROR:
                 self._results[task_id] = FabricTaskError(task_id, msg[3])
                 self._counters["task_errors"] += 1
+                self._window.count("task_errors")
             else:
                 self._results[task_id] = msg[3]
             self._counters["completed"] += 1
+            self._window.count("completed")
             state.completed += 1
             state.busy_s += dt
             if task is not None:
-                self._latencies.append(time.perf_counter() - task.submit_t)
+                latency = time.perf_counter() - task.submit_t
+                self._latencies.append(latency)
+                self._window.observe_latency(latency)
             self._feed(worker)
 
     def _on_worker_death(self, worker: _Worker) -> None:
@@ -463,7 +560,8 @@ class Fabric:
         self._drain_conn(worker)  # salvage fully-written results first
         state.crashes += 1
         self._counters["worker_crashes"] += 1
-        self._instant("worker_crash", {"slot": state.index, "pid": state.pid})
+        self._window.count("worker_crashes")
+        self._event("worker_crash", {"slot": state.index, "pid": state.pid})
         orphans = list(state.inflight.values()) + list(state.pending)
         state.inflight.clear()
         state.pending.clear()
@@ -478,6 +576,7 @@ class Fabric:
         for task in orphans:
             task.requeues += 1
             self._counters["requeued"] += 1
+            self._window.count("requeued")
             target = self._dispatcher.requeue_select(self._states(), task.shape)
             if target is None:  # every slot dying at once: shouldn't happen
                 raise FabricError(
@@ -522,6 +621,9 @@ class Fabric:
             return
         if drain:
             self.drain(timeout)
+        if self._obs_server is not None:
+            self._obs_server.stop()
+            self._obs_server = None
         for worker in self._workers:
             worker.state.stopping = True
             try:
@@ -553,20 +655,134 @@ class Fabric:
     # Observability.
     # ------------------------------------------------------------------
 
-    def _instant(self, event: str, args: dict) -> None:
+    def _event(self, event: str, args: dict) -> None:
+        """Record a lifecycle event: always in the ring, opt-in in the tracer."""
+        self._event_log.append(event, args)
         if self.tracer.enabled and self._t_start is not None:
             ts = int((time.perf_counter() - self._t_start) * 1e6)
             self.tracer.instant(event, ts, cat="fabric", args=args)
+
+    @property
+    def obs_url(self) -> Optional[str]:
+        """Base URL of the live telemetry server (None when not serving)."""
+        return self._obs_server.url if self._obs_server is not None else None
+
+    def events(self) -> List[dict]:
+        """Recent lifecycle events, oldest first (``/events.json``)."""
+        return self._event_log.snapshot()
+
+    def _heartbeat_age(self, state: WorkerState, now: float) -> Optional[float]:
+        if self._watchdog is not None:
+            return self._watchdog.age(state.index, now)
+        if state.last_heartbeat_ts is None:
+            return None
+        return now - state.last_heartbeat_ts
+
+    def _pump_age(self, now: float) -> Optional[float]:
+        if self._last_pump_ts is None:
+            return None
+        return now - self._last_pump_ts
+
+    def health(self) -> dict:
+        """RFC-health JSON (draft-inadarei) with per-worker verdicts.
+
+        A worker ``fail``s once it has been heartbeat-silent for the
+        watchdog's ``unhealthy_intervals`` (default: two intervals).
+        Heartbeats only arrive while somebody pumps the fabric, so when
+        the *pump itself* is stale — the serving thread stopped calling
+        submit/poll/drain — worker silence is unattributable and their
+        ``fail`` verdicts are capped to ``warn``, with a ``fabric:pump``
+        check carrying the real story.
+        """
+        now = time.monotonic()
+        hb = self.heartbeat_s
+        pump_age = self._pump_age(now)
+        pump_stale = hb > 0 and pump_age is not None and pump_age >= 2 * hb
+        order = {"pass": 0, "warn": 1, "fail": 2}
+        worst = "pass"
+        checks: Dict[str, list] = {}
+        for worker in self._workers:
+            state = worker.state
+            age = self._heartbeat_age(state, now)
+            if state.stopping:
+                verdict = "warn"
+            elif not state.alive:
+                verdict = "fail"  # crashed, respawn pending
+            elif hb <= 0:
+                verdict = "pass"  # heartbeats disabled: alive is all we know
+            elif self._watchdog is not None:
+                verdict = self._watchdog.verdict(state.index, now)
+            elif age is not None and age >= 2 * hb:
+                verdict = "fail"
+            else:
+                verdict = "pass"
+            if pump_stale and verdict == "fail" and state.alive:
+                verdict = "warn"
+            detail = {
+                "componentType": "process",
+                "status": verdict,
+                "pid": state.pid,
+                "alive": bool(state.alive),
+                "observedValue": round(age, 3) if age is not None else None,
+                "observedUnit": "s_since_heartbeat",
+                "taskSeq": state.hb_task_seq,
+                "rssBytes": state.hb_rss_bytes,
+                "stuck": (
+                    self._watchdog.is_flagged(state.index)
+                    if self._watchdog is not None
+                    else False
+                ),
+            }
+            checks["worker:%d" % state.index] = [detail]
+            worst = max(worst, verdict, key=lambda v: order[v])
+        pump_check = {
+            "componentType": "system",
+            "status": "warn" if pump_stale else "pass",
+            "observedValue": round(pump_age, 3) if pump_age is not None else None,
+            "observedUnit": "s_since_pump",
+        }
+        checks["fabric:pump"] = [pump_check]
+        if pump_stale:
+            worst = max(worst, "warn", key=lambda v: order[v])
+        return {
+            "status": worst,
+            "version": "1",
+            "releaseId": FABRIC_REPORT_SCHEMA,
+            "serviceId": self.name,
+            "description": "%d-worker fabric, %s dispatch, %s backpressure"
+            % (self.n_workers, self.policy, self.backpressure),
+            "checks": checks,
+        }
+
+    def metrics_text(self) -> str:
+        """The live report as Prometheus exposition text (``/metrics``)."""
+        from repro.fabric.report import fabric_prometheus_text
+
+        return fabric_prometheus_text(self.report())
+
+    @staticmethod
+    def _cache_telemetry() -> dict:
+        """Parent-side schedule-cache and codegen counters."""
+        cache = {"schedule": schedule_cache_stats()}
+        try:
+            from repro.sim.codegen import codegen_stats
+
+            cache["codegen"] = codegen_stats()
+        except ImportError:  # pragma: no cover - codegen tier missing
+            pass
+        return cache
 
     def report(self) -> dict:
         """The fabric report: counters, per-worker stats, latencies."""
         wall = (
             time.perf_counter() - self._t_start if self._t_start is not None else 0.0
         )
+        now = time.monotonic()
         completed = self._counters["completed"]
         per_worker = []
         for worker in self._workers:
             state = worker.state
+            age = self._heartbeat_age(state, now)
             per_worker.append(
                 {
                     "index": state.index,
@@ -581,8 +797,31 @@ class Fabric:
                     "spinup_s": state.spinup_s,
                     "spinup_schedule_misses": state.spinup_schedule_misses,
                     "spinup_codegen_compilations": state.spinup_codegen_compilations,
+                    "heartbeats": state.heartbeats,
+                    "last_heartbeat_age_s": (
+                        round(age, 3) if age is not None else None
+                    ),
+                    "task_seq": state.hb_task_seq,
+                    "host_cycles": state.hb_host_cycles,
+                    "rss_bytes": state.hb_rss_bytes,
+                    "stall_causes": dict(state.hb_stall_causes),
+                    "health": (
+                        self._watchdog.verdict(state.index, now)
+                        if self._watchdog is not None and state.alive
+                        else None
+                    ),
                 }
             )
+        watchdog = None
+        if self._watchdog is not None:
+            watchdog = {
+                "interval_s": self._watchdog.interval_s,
+                "miss_intervals": self._watchdog.miss_intervals,
+                "escalate": self._watchdog.escalate,
+                "flags": self._watchdog.flags,
+                "kills": self._watchdog.kills,
+                "recoveries": self._watchdog.recoveries,
+            }
         return {
             "schema": FABRIC_REPORT_SCHEMA,
             "name": self.name,
@@ -590,10 +829,14 @@ class Fabric:
             "backpressure": self.backpressure,
             "workers": self.n_workers,
             "queue_depth": self.queue_depth,
+            "heartbeat_s": self.heartbeat_s,
             "wall_s": round(wall, 6),
             "packets_per_sec": round(completed / wall, 3) if wall else 0.0,
             "outstanding": self.outstanding,
             "counters": dict(self._counters),
-            "latency_s": latency_summary(self._latencies),
+            "latency_s": latency_summary(list(self._latencies)),
+            "window": self._window.snapshot(),
+            "watchdog": watchdog,
+            "cache": self._cache_telemetry(),
             "per_worker": per_worker,
         }

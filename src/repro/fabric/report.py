@@ -3,38 +3,41 @@
 The fabric report is the serving-layer sibling of the per-run trace
 report (``repro.trace.report``): fabric-level counters (submissions,
 drops, rejections, requeues, respawns), per-worker occupancy and
-spin-up provenance, and end-to-end latency percentiles.  The JSON form
-is embedded in ``BENCH_fabric_scaling.json`` and validated in CI;
+spin-up provenance, heartbeat/watchdog liveness, rolling-window
+aggregates and end-to-end latency percentiles.  The JSON form is
+embedded in ``BENCH_fabric_scaling.json`` and validated in CI;
 :func:`fabric_prometheus_text` renders the same numbers in the
-Prometheus exposition format used by ``repro.trace.export``.
+Prometheus exposition format, sharing the escaping-correct sample and
+``# HELP``/``# TYPE`` builders in :mod:`repro.obs.prom` with
+``repro.trace.export``.
+
+The nearest-rank :func:`percentile` now lives in
+:mod:`repro.obs.window` (the rolling windows need it and ``repro.obs``
+is a stdlib-only leaf); it is re-exported here so existing importers —
+``benchmarks/reporting.py``, tests — keep working unchanged.
 """
 
 from __future__ import annotations
 
 import json
-import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
+
+from repro.obs.prom import prom_header, prom_sample
+from repro.obs.window import percentile
+
+__all__ = [
+    "FABRIC_REPORT_SCHEMA",
+    "fabric_prometheus_text",
+    "fabric_report_json",
+    "latency_percentiles",
+    "latency_summary",
+    "percentile",
+]
 
 #: Format identifier embedded in every fabric report.
 FABRIC_REPORT_SCHEMA = "repro.fabric_report/v1"
 
 _PREFIX = "repro_fabric_"
-
-
-def percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in 0..100) of *samples*.
-
-    Nearest-rank keeps every reported number an actually-observed
-    latency (no interpolation between samples), which is what you want
-    when the tail is the story.  Raises on an empty sample list.
-    """
-    if not samples:
-        raise ValueError("percentile of an empty sample list")
-    if not 0 <= q <= 100:
-        raise ValueError("percentile q=%r outside 0..100" % (q,))
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return float(ordered[rank - 1])
 
 
 def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
@@ -57,44 +60,204 @@ def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
     return summary
 
 
-def _sample(name: str, value, labels: Optional[Dict[str, object]] = None) -> str:
-    if labels:
-        inner = ",".join('%s="%s"' % (k, v) for k, v in sorted(labels.items()))
-        return "%s%s{%s} %s" % (_PREFIX, name, inner, value)
-    return "%s%s %s" % (_PREFIX, name, value)
+# ----------------------------------------------------------------------
+# Prometheus rendering.
+# ----------------------------------------------------------------------
+
+_COUNTER_HELP = {
+    "submitted": "Packets accepted by Fabric.submit().",
+    "completed": "Packet results recorded (including task errors).",
+    "dropped": "Packets shed immediately in drop backpressure mode.",
+    "rejected": "Packets shed by a deadline, at submit or while queued.",
+    "requeued": "Crash-orphaned packets moved onto surviving workers.",
+    "duplicates": "Results discarded by the exactly-once guard.",
+    "task_errors": "Packets whose worker raised; the worker kept serving.",
+    "worker_crashes": "Worker process deaths noticed by the fabric.",
+    "respawns": "Worker slots respawned from the warm template.",
+    "heartbeats": "Worker heartbeat messages received by the fabric.",
+    "watchdog_flags": "Worker slots flagged stuck by the watchdog.",
+    "watchdog_kills": "Stuck workers killed by watchdog escalation.",
+}
+
+_GAUGE_HELP = {
+    "workers": "Configured worker slots in this fabric.",
+    "outstanding": "Accepted packets not yet completed (pending + in-flight).",
+    "packets_per_sec": "Lifetime completed-packet throughput.",
+    "wall_seconds": "Seconds since the fabric started.",
+    "heartbeat_interval_seconds": "Configured worker heartbeat period (0 = disabled).",
+}
+
+_WORKER_GAUGES = (
+    ("worker_completed", "completed", "Packets completed by this worker slot."),
+    ("worker_occupancy", "occupancy", "Busy-time fraction of this worker slot."),
+    ("worker_queue_depth", "load", "Pending plus in-flight packets on this slot."),
+    ("worker_crashes", "crashes", "Crashes observed on this worker slot."),
+    ("worker_heartbeats", "heartbeats", "Heartbeats received from this slot."),
+    ("worker_task_seq", "task_seq", "Tasks completed per the slot's last heartbeat."),
+    ("worker_host_cycles", "host_cycles",
+     "Cumulative simulated cycles per the slot's last heartbeat."),
+    ("worker_rss_bytes", "rss_bytes",
+     "Worker resident set size per its last heartbeat."),
+)
+
+
+def _family(lines: List[str], name: str, mtype: str, help_text: str) -> str:
+    full = _PREFIX + name
+    lines.extend(prom_header(full, mtype, help_text))
+    return full
 
 
 def fabric_prometheus_text(report: dict) -> str:
     """Render a fabric report dict as Prometheus exposition text."""
     lines: List[str] = []
     for name, value in sorted(report.get("counters", {}).items()):
-        lines.append("# TYPE %s%s counter" % (_PREFIX, name))
-        lines.append(_sample(name, value))
+        full = _family(
+            lines, name, "counter", _COUNTER_HELP.get(name, "Fabric counter.")
+        )
+        lines.append(prom_sample(full, value))
     gauges = [
         ("workers", report.get("workers")),
         ("outstanding", report.get("outstanding")),
         ("packets_per_sec", report.get("packets_per_sec")),
         ("wall_seconds", report.get("wall_s")),
+        ("heartbeat_interval_seconds", report.get("heartbeat_s")),
     ]
     for name, value in gauges:
         if value is None:
             continue
-        lines.append("# TYPE %s%s gauge" % (_PREFIX, name))
-        lines.append(_sample(name, value))
+        full = _family(lines, name, "gauge", _GAUGE_HELP.get(name, "Fabric gauge."))
+        lines.append(prom_sample(full, value))
+
     latency = report.get("latency_s", {})
-    # Prometheus summary convention: fractional quantile labels.
-    for key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
-        if key in latency:
-            lines.append(
-                _sample("latency_seconds", latency[key], {"quantile": quantile})
-            )
-    for worker in report.get("per_worker", []):
-        labels = {"worker": worker["index"]}
-        lines.append(_sample("worker_completed", worker["completed"], labels))
-        lines.append(_sample("worker_occupancy", worker["occupancy"], labels))
-        lines.append(_sample("worker_queue_depth", worker["load"], labels))
-        lines.append(_sample("worker_crashes", worker["crashes"], labels))
+    if latency:
+        full = _family(
+            lines, "latency_seconds", "summary",
+            "End-to-end packet latency (lifetime, nearest-rank quantiles).",
+        )
+        # Prometheus summary convention: fractional quantile labels.
+        for key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            if key in latency:
+                lines.append(
+                    prom_sample(full, latency[key], {"quantile": quantile})
+                )
+        count = latency.get("count", 0)
+        lines.append(prom_sample(full + "_count", count))
+        lines.append(
+            prom_sample(full + "_sum", round(latency.get("mean", 0.0) * count, 6))
+        )
+
+    _render_window(lines, report.get("window"))
+    _render_workers(lines, report.get("per_worker", []))
+    _render_cache(lines, report.get("cache"))
     return "\n".join(lines) + "\n"
+
+
+def _render_window(lines: List[str], window) -> None:
+    """The rolling-window families: last-N-seconds behaviour, not lifetime."""
+    if not window:
+        return
+    full = _family(
+        lines, "window_seconds", "gauge", "Rolling aggregation window length."
+    )
+    lines.append(prom_sample(full, window.get("window_s")))
+    full = _family(
+        lines, "window_events", "gauge",
+        "Fabric events that occurred within the rolling window, by kind.",
+    )
+    for kind, value in sorted(window.get("counts", {}).items()):
+        lines.append(prom_sample(full, value, {"kind": kind}))
+    simple = [
+        ("window_packets_per_sec", window.get("throughput_pps"),
+         "Completed-packet throughput over the rolling window."),
+        ("window_offered_per_sec", window.get("offered_pps"),
+         "Accepted-submission rate over the rolling window."),
+        ("window_shed", window.get("shed"),
+         "Packets shed (dropped + rejected) within the rolling window."),
+        ("window_queue_depth_mean", window.get("queue_depth", {}).get("mean"),
+         "Mean outstanding packets sampled over the rolling window."),
+        ("window_inflight_mean", window.get("inflight", {}).get("mean"),
+         "Mean in-pipe packets sampled over the rolling window."),
+    ]
+    for name, value, help_text in simple:
+        if value is None:
+            continue
+        full = _family(lines, name, "gauge", help_text)
+        lines.append(prom_sample(full, value))
+    latency = window.get("latency_s", {})
+    if latency:
+        full = _family(
+            lines, "window_latency_seconds", "gauge",
+            "Windowed nearest-rank latency quantiles (fractional quantile label).",
+        )
+        for key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            if key in latency:
+                lines.append(prom_sample(full, latency[key], {"quantile": quantile}))
+
+
+def _render_workers(lines: List[str], per_worker: List[dict]) -> None:
+    if not per_worker:
+        return
+    for name, key, help_text in _WORKER_GAUGES:
+        if not any(worker.get(key) is not None for worker in per_worker):
+            continue
+        full = _family(lines, name, "gauge", help_text)
+        for worker in per_worker:
+            value = worker.get(key)
+            if value is None:
+                continue
+            lines.append(prom_sample(full, value, {"worker": worker["index"]}))
+    if any(worker.get("last_heartbeat_age_s") is not None for worker in per_worker):
+        full = _family(
+            lines, "worker_heartbeat_age_seconds", "gauge",
+            "Seconds since this slot's last heartbeat (at report time).",
+        )
+        for worker in per_worker:
+            age = worker.get("last_heartbeat_age_s")
+            if age is not None:
+                lines.append(prom_sample(full, age, {"worker": worker["index"]}))
+    if any(worker.get("health") for worker in per_worker):
+        full = _family(
+            lines, "worker_healthy", "gauge",
+            "1 when the slot's health verdict is pass, else 0.",
+        )
+        for worker in per_worker:
+            verdict = worker.get("health")
+            if verdict:
+                lines.append(
+                    prom_sample(
+                        full, 1 if verdict == "pass" else 0,
+                        {"worker": worker["index"], "verdict": verdict},
+                    )
+                )
+    if any(worker.get("stall_causes") for worker in per_worker):
+        full = _family(
+            lines, "worker_stall_cycles", "gauge",
+            "Cumulative simulated stall cycles by cause, per the slot's "
+            "last heartbeat.",
+        )
+        for worker in per_worker:
+            for cause, cycles in sorted((worker.get("stall_causes") or {}).items()):
+                lines.append(
+                    prom_sample(
+                        full, cycles, {"worker": worker["index"], "cause": cause}
+                    )
+                )
+
+
+def _render_cache(lines: List[str], cache) -> None:
+    """Schedule-cache and codegen counters as one labelled family."""
+    if not cache:
+        return
+    full = _family(
+        lines, "cache_events", "counter",
+        "Parent-side schedule-cache and codegen cache events "
+        "(hit/miss/heal/compile counters).",
+    )
+    for cache_name, counters in sorted(cache.items()):
+        for event, value in sorted((counters or {}).items()):
+            lines.append(
+                prom_sample(full, value, {"cache": cache_name, "event": event})
+            )
 
 
 def fabric_report_json(report: dict) -> str:

@@ -14,6 +14,19 @@ and zero region links for the warmed shapes.  The readiness message
 carries the child-side schedule-cache miss delta so the fabric report
 can prove it.
 
+Heartbeats: with ``heartbeat_s > 0`` the worker runs a small daemon
+thread that periodically sends ``(MSG_HEARTBEAT, index, payload)`` up
+the result pipe — the payload is
+:func:`repro.obs.heartbeat.heartbeat_payload`: ``task_seq`` (tasks
+completed), ``host_cycles`` (cumulative simulated cycles), ``rss_bytes``
+and the sender's ``monotonic_ts``, plus the runtime's cumulative
+per-cause stall attribution.  Liveness therefore rides the *existing*
+result-pipe multiplexing (no extra descriptors), and because the beat
+comes from a separate thread, a worker that is busy simulating a long
+packet still beats — only a genuinely stuck process (deadlock,
+SIGSTOP) goes silent.  A ``threading.Lock`` serialises heartbeat and
+result sends so interleaved writes cannot corrupt the pipe.
+
 Crash isolation: every worker gets its own result pipe, and the first
 thing a child does is close its inherited copies of every *other*
 worker's pipe ends.  A SIGKILLed worker therefore drops the last write
@@ -24,14 +37,18 @@ workers are untouched.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Optional, Sequence
+
+from repro.obs.heartbeat import heartbeat_payload
 
 # Result-pipe message tags (tag, payload...) — see worker_main.
 MSG_READY = "ready"
 MSG_RESULT = "result"
 MSG_ERROR = "error"
 MSG_BYE = "bye"
+MSG_HEARTBEAT = "heartbeat"
 
 
 def default_runner_factory(
@@ -69,12 +86,44 @@ def _codegen_compilations() -> int:
     return int(codegen_stats().get("compilations", 0))
 
 
+def _heartbeat_loop(
+    stop: threading.Event,
+    send_lock: threading.Lock,
+    result_conn,
+    index: int,
+    interval_s: float,
+    runner: object,
+    progress: dict,
+) -> None:
+    """Beat every *interval_s* until stopped or the pipe goes away.
+
+    Runs as a daemon thread next to the serve loop; *progress* is the
+    loop's mutable ``{"task_seq": n}`` view (GIL-atomic int reads).  The
+    runner's telemetry is duck-typed (``host_cycles``/``stall_causes``)
+    so stub runners in tests beat too, just with zeroed cycle fields.
+    Any pipe error ends the thread quietly — heartbeat loss must never
+    crash a worker that could still serve.
+    """
+    while not stop.wait(interval_s):
+        try:
+            payload = heartbeat_payload(
+                task_seq=progress["task_seq"],
+                host_cycles=int(getattr(runner, "host_cycles", 0) or 0),
+                stall_causes=dict(getattr(runner, "stall_causes", None) or {}),
+            )
+            with send_lock:
+                result_conn.send((MSG_HEARTBEAT, index, payload))
+        except (OSError, BrokenPipeError, ValueError):
+            return  # parent gone or pipe closed: nothing left to tell
+
+
 def worker_main(
     index: int,
     task_conn,
     result_conn,
     close_conns: Sequence[object],
     runner_factory: Callable[[], object],
+    heartbeat_s: float = 0.0,
 ) -> None:
     """Body of one worker process (the ``Process`` target)."""
     for conn in close_conns:
@@ -97,6 +146,17 @@ def worker_main(
             },
         )
     )
+    send_lock = threading.Lock()
+    progress = {"task_seq": 0}
+    stop_beating = threading.Event()
+    if heartbeat_s and heartbeat_s > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(stop_beating, send_lock, result_conn, index, float(heartbeat_s),
+                  runner, progress),
+            name="heartbeat-%d" % index,
+            daemon=True,
+        ).start()
     while True:
         try:
             msg = task_conn.recv()
@@ -104,7 +164,8 @@ def worker_main(
             break  # parent went away: exit quietly
         if msg is None:
             try:
-                result_conn.send((MSG_BYE, index, None))
+                with send_lock:
+                    result_conn.send((MSG_BYE, index, None))
             except (OSError, BrokenPipeError):
                 pass
             break
@@ -114,10 +175,16 @@ def worker_main(
             out = runner.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
         except Exception as exc:  # task-level fault: report, keep serving
             dt = time.perf_counter() - t0
-            result_conn.send((MSG_ERROR, task_id, dt, "%s: %s" % (type(exc).__name__, exc)))
+            with send_lock:
+                result_conn.send(
+                    (MSG_ERROR, task_id, dt, "%s: %s" % (type(exc).__name__, exc))
+                )
         else:
             dt = time.perf_counter() - t0
-            result_conn.send((MSG_RESULT, task_id, dt, out))
+            with send_lock:
+                result_conn.send((MSG_RESULT, task_id, dt, out))
+        progress["task_seq"] += 1
+    stop_beating.set()
     try:
         result_conn.close()
         task_conn.close()

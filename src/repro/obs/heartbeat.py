@@ -1,0 +1,202 @@
+"""Worker heartbeats and the watchdog that watches them.
+
+A fabric worker that is *busy* is healthy; a worker that is *stuck*
+(deadlocked, SIGSTOPped, swapping itself to death) looks exactly the
+same from the parent's pump loop — no results, no EOF, live sentinel.
+Heartbeats break the tie: each worker runs a small daemon thread that
+periodically sends :func:`heartbeat_payload` — ``(task_seq,
+host_cycles, rss_bytes, monotonic_ts)`` plus its cumulative stall-cause
+breakdown — up the existing result pipe, so liveness rides the same
+multiplexed channel as results and needs no new file descriptors.
+
+The parent-side :class:`Watchdog` tracks the last-seen beat per slot:
+
+- ``verdict()`` is the ``/healthz`` policy — a slot is ``fail`` once it
+  has been silent for ``unhealthy_intervals`` (default 2) heartbeat
+  intervals;
+- ``check()`` is the escalation policy — after ``miss_intervals``
+  (default 5) silent intervals the slot is *flagged* (once per
+  incident), and with ``escalate=True`` the watchdog SIGKILLs the pid,
+  deliberately converting "stuck" into "dead" so the fabric's existing
+  crash-recovery path (salvage → requeue → respawn) takes over.  The
+  watchdog never touches queues or results itself.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Default seconds between worker heartbeats.
+HEARTBEAT_INTERVAL_S = 1.0
+
+
+def rss_bytes() -> int:
+    """This process's resident set size in bytes (0 if unreadable).
+
+    Reads ``/proc/self/statm`` on Linux and falls back to
+    ``resource.getrusage`` elsewhere — never raises, because heartbeat
+    emission must not be able to kill a worker.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            return int(fh.read().split()[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        # ru_maxrss is kilobytes on Linux (peak, not current — close enough
+        # for a fallback path).
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except (OSError, ValueError):
+        return 0
+
+
+def heartbeat_payload(
+    task_seq: int,
+    host_cycles: int = 0,
+    stall_causes: Optional[Dict[str, int]] = None,
+) -> dict:
+    """Build one heartbeat payload (sent as ``(MSG_HEARTBEAT, slot, payload)``)."""
+    return {
+        "task_seq": int(task_seq),
+        "host_cycles": int(host_cycles),
+        "rss_bytes": rss_bytes(),
+        "monotonic_ts": float(time.monotonic()),
+        "stall_causes": dict(stall_causes or {}),
+    }
+
+
+@dataclass
+class WatchdogEvent:
+    """One watchdog decision: a slot flagged stuck (and maybe killed)."""
+
+    slot: int
+    pid: Optional[int]
+    age_s: float
+    killed: bool
+
+
+class Watchdog:
+    """Flags worker slots whose heartbeats stopped; optionally kills them.
+
+    Parameters
+    ----------
+    interval_s:
+        The heartbeat period workers were configured with.
+    miss_intervals:
+        Silent intervals before a slot is flagged stuck (the escalation
+        threshold).  Must be >= ``unhealthy_intervals``.
+    unhealthy_intervals:
+        Silent intervals before ``verdict()`` reports ``fail`` — the
+        ``/healthz`` threshold (default 2, per the acceptance bar:
+        a SIGSTOPped worker is unhealthy within two intervals).
+    escalate:
+        When True, a newly flagged slot's pid is killed (``SIGKILL``),
+        handing the slot to the fabric's crash-recovery path.
+    kill / clock:
+        Injectable for tests (defaults: :func:`os.kill`,
+        :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = HEARTBEAT_INTERVAL_S,
+        miss_intervals: int = 5,
+        unhealthy_intervals: int = 2,
+        escalate: bool = False,
+        kill=os.kill,
+        clock=time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive, got %r" % (interval_s,))
+        if miss_intervals < 1 or unhealthy_intervals < 1:
+            raise ValueError("watchdog thresholds must be >= 1 interval")
+        if miss_intervals < unhealthy_intervals:
+            raise ValueError(
+                "miss_intervals (%d) must be >= unhealthy_intervals (%d): a "
+                "slot cannot be escalated while /healthz still calls it ok"
+                % (miss_intervals, unhealthy_intervals)
+            )
+        self.interval_s = float(interval_s)
+        self.miss_intervals = int(miss_intervals)
+        self.unhealthy_intervals = int(unhealthy_intervals)
+        self.escalate = bool(escalate)
+        self._kill = kill
+        self._clock = clock
+        self._last_seen: Dict[int, float] = {}
+        self._flagged: set = set()
+        self.flags = 0
+        self.kills = 0
+        self.recoveries = 0
+
+    # -- heartbeat bookkeeping -----------------------------------------
+
+    def reset(self, slot: int, now: Optional[float] = None) -> None:
+        """(Re)arm a slot at spawn time: spawn counts as the first beat."""
+        self._last_seen[slot] = float(self._clock() if now is None else now)
+        self._flagged.discard(slot)
+
+    def beat(self, slot: int, now: Optional[float] = None) -> bool:
+        """Record a heartbeat; True when the slot was flagged (recovered)."""
+        self._last_seen[slot] = float(self._clock() if now is None else now)
+        if slot in self._flagged:
+            self._flagged.discard(slot)
+            self.recoveries += 1
+            return True
+        return False
+
+    def age(self, slot: int, now: Optional[float] = None) -> Optional[float]:
+        """Seconds since the slot's last beat (None if never armed)."""
+        seen = self._last_seen.get(slot)
+        if seen is None:
+            return None
+        return float(self._clock() if now is None else now) - seen
+
+    # -- policies ------------------------------------------------------
+
+    def verdict(self, slot: int, now: Optional[float] = None) -> str:
+        """``/healthz`` verdict for one slot: ``pass``/``warn``/``fail``."""
+        age = self.age(slot, now)
+        if age is None:
+            return "warn"  # never armed: a slot we know nothing about
+        if age >= self.unhealthy_intervals * self.interval_s:
+            return "fail"
+        return "pass"
+
+    def is_flagged(self, slot: int) -> bool:
+        return slot in self._flagged
+
+    def check(self, states, now: Optional[float] = None) -> List[WatchdogEvent]:
+        """One watchdog round over dispatcher worker states.
+
+        *states* is any sequence of objects with ``index``, ``alive``,
+        ``stopping`` and ``pid`` attributes
+        (:class:`repro.fabric.dispatcher.WorkerState` qualifies).  A
+        slot is flagged at most once per silent incident; a later beat
+        (or a respawn's :meth:`reset`) re-arms it.
+        """
+        now_t = float(self._clock() if now is None else now)
+        events: List[WatchdogEvent] = []
+        for state in states:
+            slot = state.index
+            if not state.alive or state.stopping or slot in self._flagged:
+                continue
+            age = self.age(slot, now_t)
+            if age is None or age < self.miss_intervals * self.interval_s:
+                continue
+            self._flagged.add(slot)
+            self.flags += 1
+            killed = False
+            if self.escalate and state.pid is not None:
+                try:
+                    self._kill(state.pid, signal.SIGKILL)
+                    killed = True
+                    self.kills += 1
+                except (ProcessLookupError, PermissionError, OSError):
+                    pass  # already gone: the sentinel path will notice
+            events.append(WatchdogEvent(slot, state.pid, age, killed))
+        return events

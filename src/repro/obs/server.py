@@ -1,0 +1,200 @@
+"""`ObsServer`: the stdlib threaded HTTP server behind the live plane.
+
+One small :class:`~http.server.ThreadingHTTPServer` on a daemon thread,
+four endpoints, zero dependencies:
+
+=============== ===================================== ======================
+endpoint        content                               media type
+=============== ===================================== ======================
+``/metrics``    Prometheus exposition text            ``text/plain; version=0.0.4``
+``/healthz``    RFC-draft health JSON (per-worker     ``application/health+json``
+                verdicts; HTTP 503 when ``fail``)
+``/report.json``the live report dict                  ``application/json``
+``/events.json``recent lifecycle events (ring)        ``application/json``
+``/``           plain-text index of the above         ``text/plain``
+=============== ===================================== ======================
+
+The server knows nothing about fabrics: it is constructed from four
+*provider* callables returning, respectively, exposition text, a health
+dict, a report dict and an event list.  Providers run on scrape threads
+while the owning process mutates its state, so each call is retried a
+few times on ``RuntimeError`` (the "mutated during iteration" family) —
+the single-writer structures behind the fabric providers make a retry
+always succeed.  :func:`serve_fabric` wires a live
+:class:`~repro.fabric.Fabric`'s methods up as providers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Optional
+
+#: Prometheus exposition content type (text format 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: draft-inadarei-api-health-check media type.
+HEALTH_CONTENT_TYPE = "application/health+json"
+
+#: Health statuses that still answer HTTP 200.
+_HEALTHY_STATUSES = ("pass", "warn", "ok")
+
+_RETRIES = 5
+
+
+class ObsServer:
+    """Serve live telemetry for any set of provider callables."""
+
+    def __init__(
+        self,
+        metrics: Optional[Callable[[], str]] = None,
+        health: Optional[Callable[[], dict]] = None,
+        report: Optional[Callable[[], dict]] = None,
+        events: Optional[Callable[[], List[dict]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._providers = {
+            "/metrics": metrics,
+            "/healthz": health,
+            "/report.json": report,
+            "/events.json": events,
+        }
+        self._host = host
+        self._requested_port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        #: Requests served per endpoint (operator curiosity + tests).
+        self.scrapes = {path: 0 for path in self._providers}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ObsServer":
+        if self._httpd is not None:
+            raise RuntimeError("ObsServer already started")
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # quiet: scrapes are periodic
+                pass
+
+            def do_GET(self):
+                server._handle(self)
+
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("ObsServer not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self._host, self.port)
+
+    # -- request handling ----------------------------------------------
+
+    @staticmethod
+    def _call(provider):
+        """Invoke a provider, retrying the mutation-race RuntimeErrors."""
+        for attempt in range(_RETRIES):
+            try:
+                return provider()
+            except RuntimeError:
+                if attempt == _RETRIES - 1:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path == "/":
+            available = sorted(
+                p for p, provider in self._providers.items() if provider is not None
+            )
+            self._respond(
+                request, 200, "text/plain; charset=utf-8",
+                "repro.obs live telemetry\n" + "".join(p + "\n" for p in available),
+            )
+            return
+        provider = self._providers.get(path)
+        if provider is None:
+            self._respond(request, 404, "text/plain; charset=utf-8", "not found\n")
+            return
+        try:
+            payload = self._call(provider)
+        except Exception as exc:  # a broken provider must not kill the server
+            self._respond(
+                request, 500, "text/plain; charset=utf-8",
+                "provider error: %s: %s\n" % (type(exc).__name__, exc),
+            )
+            return
+        self.scrapes[path] += 1
+        if path == "/metrics":
+            self._respond(request, 200, METRICS_CONTENT_TYPE, str(payload))
+        elif path == "/healthz":
+            status = 200 if payload.get("status") in _HEALTHY_STATUSES else 503
+            self._respond(
+                request, status, HEALTH_CONTENT_TYPE, json.dumps(payload, indent=1)
+            )
+        else:
+            self._respond(
+                request, 200, "application/json", json.dumps(payload, indent=1)
+            )
+
+    @staticmethod
+    def _respond(request, status: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        try:
+            request.send_response(status)
+            request.send_header("Content-Type", content_type)
+            request.send_header("Content-Length", str(len(data)))
+            request.end_headers()
+            request.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # scraper went away mid-response
+
+
+def serve_fabric(fabric, host: str = "127.0.0.1", port: int = 0) -> ObsServer:
+    """Start an :class:`ObsServer` over a live fabric's telemetry methods.
+
+    Duck-typed on purpose (``metrics_text`` / ``health`` / ``report`` /
+    ``events``) so this module stays stdlib-only and importable from
+    ``repro.fabric`` without a cycle.
+    """
+    return ObsServer(
+        metrics=fabric.metrics_text,
+        health=fabric.health,
+        report=fabric.report,
+        events=fabric.events,
+        host=host,
+        port=port,
+    ).start()

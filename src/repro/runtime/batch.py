@@ -25,6 +25,7 @@ from repro.compiler.linker import configure_schedule_cache
 from repro.modem.memory_map import DEFAULT_MAP, MemoryMap
 from repro.modem.receiver import ReceiverOutput, SimReceiver
 from repro.phy.params import PARAMS_20MHZ_2X2, OfdmParams
+from repro.sim.stats import ActivityStats
 
 
 class WorkerCrashError(RuntimeError):
@@ -69,11 +70,28 @@ class ModemRuntime:
         #: ``repro.fabric`` uses this to seed shape-affinity state for
         #: workers forked from a warm template.
         self.warmed_shapes: set = set()
+        #: Cumulative activity across every packet this runtime has run.
+        #: Fabric worker heartbeats sample it (``host_cycles``, per-cause
+        #: stall attribution) so ``/metrics`` can expose per-worker
+        #: simulated progress without waiting for end-of-run reports.
+        self.activity = ActivityStats()
+        #: Packets run by this runtime instance.
+        self.packets_run = 0
 
     @property
     def compiled_programs(self) -> int:
         """Region programs linked so far (grows only on new shapes)."""
         return self.receiver.compiled_programs
+
+    @property
+    def host_cycles(self) -> int:
+        """Total simulated cycles across every packet run so far."""
+        return int(self.activity.total_cycles)
+
+    @property
+    def stall_causes(self) -> Dict[str, int]:
+        """Cumulative per-cause stall attribution (cause name -> cycles)."""
+        return self.activity.stall_breakdown()
 
     def run_packet(
         self,
@@ -84,7 +102,12 @@ class ModemRuntime:
         """Run one packet on the resident programs."""
         rx = np.atleast_2d(rx)
         self.warmed_shapes.add((int(rx.shape[1]), int(n_symbols)))
-        return self.receiver.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
+        out = self.receiver.run_packet(
+            rx, n_symbols=n_symbols, detect_hint=detect_hint
+        )
+        self.activity.merge(out.stats)
+        self.packets_run += 1
+        return out
 
     def warm_up(self, rx: np.ndarray, **kwargs) -> ReceiverOutput:
         """Run one representative packet to link that shape's programs."""

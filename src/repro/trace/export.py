@@ -114,12 +114,13 @@ def write_chrome_trace(path: str, tracer: Tracer, meta: Optional[dict] = None) -
 
 _PREFIX = "repro_sim_"
 
-
-def _sample(name: str, value, labels: Optional[Dict[str, object]] = None) -> str:
-    if labels:
-        inner = ",".join('%s="%s"' % (k, v) for k, v in sorted(labels.items()))
-        return "%s%s{%s} %s" % (_PREFIX, name, inner, value)
-    return "%s%s %s" % (_PREFIX, name, value)
+#: Help text for the keyed families; scalar counters get a generic line.
+_KEYED_HELP = {
+    "fu_ops": "Executed operations per functional unit.",
+    "op_group_ops": "Executed operations per ISA operation group.",
+    "stall_cycles_by_cause": "Stalled cycles attributed per cause "
+    "(causes sum exactly to stall_cycles).",
+}
 
 
 def prometheus_text(stats, labels: Optional[Dict[str, object]] = None) -> str:
@@ -128,12 +129,21 @@ def prometheus_text(stats, labels: Optional[Dict[str, object]] = None) -> str:
     Scalar counters become ``repro_sim_<name>``; keyed counters become
     labelled series (``repro_sim_fu_ops{fu="3"}``,
     ``repro_sim_stall_cycles_by_cause{cause="bank_conflict"}``, ...).
+    Label values are escaped and every family carries ``# HELP`` and
+    ``# TYPE`` lines via the shared :mod:`repro.obs.prom` builders, so
+    the page survives ``promtool check metrics``.
     """
+    # Stdlib-only leaf module (like this one); no cycle, see repro.obs.
+    from repro.obs.prom import prom_header, prom_sample
+
     data = stats.as_dict()
     lines: List[str] = []
     for name, value in sorted(data.get("counters", {}).items()):
-        lines.append("# TYPE %s%s counter" % (_PREFIX, name))
-        lines.append(_sample(name, value, labels))
+        full = _PREFIX + name
+        lines.extend(
+            prom_header(full, "counter", "Simulator activity counter %s." % name)
+        )
+        lines.append(prom_sample(full, value, labels))
     keyed = [
         ("fu_ops", "fu", data.get("fu_ops", {})),
         ("op_group_ops", "group", data.get("op_groups", {})),
@@ -142,9 +152,10 @@ def prometheus_text(stats, labels: Optional[Dict[str, object]] = None) -> str:
     for name, label, mapping in keyed:
         if not mapping:
             continue
-        lines.append("# TYPE %s%s counter" % (_PREFIX, name))
+        full = _PREFIX + name
+        lines.extend(prom_header(full, "counter", _KEYED_HELP[name]))
         for key, value in sorted(mapping.items(), key=lambda kv: str(kv[0])):
             merged = dict(labels or {})
             merged[label] = key
-            lines.append(_sample(name, value, merged))
+            lines.append(prom_sample(full, value, merged))
     return "\n".join(lines) + "\n"

@@ -87,6 +87,41 @@ def test_sigkill_mid_stream_requeues_and_respawns(template, cases, serial_output
     assert len(crashed) == 1 and crashed[0]["alive"], "slot was respawned"
 
 
+def test_sigstop_watchdog_escalation_stays_bit_identical(
+    template, cases, serial_outputs
+):
+    """A SIGSTOPped (stuck, not dead) worker goes heartbeat-silent, the
+    watchdog SIGKILLs it, and the existing salvage/requeue/respawn path
+    completes the stream bit-identical to serial — observability's
+    escalation hook changes *when* recovery starts, never *what* the
+    fabric computes."""
+    fab = Fabric(
+        workers=2,
+        template_runtime=template,
+        queue_depth=4,
+        heartbeat_s=0.1,
+        watchdog_intervals=3,
+        watchdog_escalate=True,
+    )
+    with fab:
+        ids = [fab.submit(case.rx) for case in cases]
+        time.sleep(0.3)  # both workers busy mid-stream
+        os.kill(fab.worker_pids()[0], signal.SIGSTOP)
+        results = fab.drain(timeout=300)
+        report = fab.report()  # before shutdown marks every slot stopped
+    assert sorted(results) == sorted(ids), "no packet lost across escalation"
+    for task_id, serial_out in zip(ids, serial_outputs):
+        _assert_identical(results[task_id], serial_out)
+    counters = report["counters"]
+    assert counters["watchdog_flags"] >= 1
+    assert counters["watchdog_kills"] >= 1
+    assert counters["worker_crashes"] >= 1
+    assert counters["respawns"] >= 1
+    assert counters["duplicates"] == 0
+    assert counters["completed"] == len(cases)
+    assert report["watchdog"]["escalate"] is True
+
+
 def test_mixed_shapes_with_affinity_decode_correctly(template):
     """Two frame lengths through shape_affinity: payloads decode clean and
     each shape settles on one worker (one extra link each, not two)."""

@@ -1,0 +1,143 @@
+"""ObsServer over real HTTP: routing, status codes, content types,
+provider fault isolation."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import ObsServer, lint_exposition
+from repro.obs.server import HEALTH_CONTENT_TYPE, METRICS_CONTENT_TYPE
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read().decode()
+
+
+@pytest.fixture()
+def server():
+    state = {"health": {"status": "pass", "checks": {}}}
+    srv = ObsServer(
+        metrics=lambda: "# HELP x X.\n# TYPE x gauge\nx 1\n",
+        health=lambda: state["health"],
+        report=lambda: {"schema": "test/v1", "n": 3},
+        events=lambda: [{"seq": 1, "event": "boot", "args": {}}],
+    )
+    srv.start()
+    srv._test_state = state
+    yield srv
+    srv.stop()
+
+
+def test_metrics_endpoint_serves_exposition(server):
+    status, ctype, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert ctype == METRICS_CONTENT_TYPE
+    assert lint_exposition(body) == []
+
+
+def test_healthz_pass_is_200(server):
+    status, ctype, body = _get(server.url + "/healthz")
+    assert status == 200
+    assert ctype == HEALTH_CONTENT_TYPE
+    assert json.loads(body)["status"] == "pass"
+
+
+def test_healthz_warn_is_still_200(server):
+    server._test_state["health"] = {"status": "warn", "checks": {}}
+    status, _, body = _get(server.url + "/healthz")
+    assert status == 200
+    assert json.loads(body)["status"] == "warn"
+
+
+def test_healthz_fail_is_503(server):
+    server._test_state["health"] = {"status": "fail", "checks": {}}
+    status, _, body = _get(server.url + "/healthz")
+    assert status == 503
+    assert json.loads(body)["status"] == "fail"
+
+
+def test_report_and_events_round_trip_as_json(server):
+    status, ctype, body = _get(server.url + "/report.json")
+    assert (status, ctype) == (200, "application/json")
+    assert json.loads(body) == {"schema": "test/v1", "n": 3}
+    status, _, body = _get(server.url + "/events.json")
+    assert status == 200
+    assert json.loads(body)[0]["event"] == "boot"
+
+
+def test_index_lists_endpoints(server):
+    status, _, body = _get(server.url + "/")
+    assert status == 200
+    for path in ("/metrics", "/healthz", "/report.json", "/events.json"):
+        assert path in body
+
+
+def test_unknown_path_is_404(server):
+    assert _get(server.url + "/nope")[0] == 404
+
+
+def test_scrape_counters_increment(server):
+    before = server.scrapes["/metrics"]
+    _get(server.url + "/metrics")
+    _get(server.url + "/metrics")
+    assert server.scrapes["/metrics"] == before + 2
+
+
+def test_broken_provider_is_500_and_server_survives():
+    calls = {"n": 0}
+
+    def bad_metrics():
+        calls["n"] += 1
+        raise KeyError("telemetry exploded")
+
+    with ObsServer(metrics=bad_metrics, health=lambda: {"status": "pass"}) as srv:
+        status, _, body = _get(srv.url + "/metrics")
+        assert status == 500
+        assert "KeyError" in body
+        # The server is still up and other endpoints still answer.
+        assert _get(srv.url + "/healthz")[0] == 200
+
+
+def test_transient_runtime_errors_are_retried():
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise RuntimeError("dictionary changed size during iteration")
+        return "# HELP x X.\n# TYPE x gauge\nx 1\n"
+
+    with ObsServer(metrics=flaky) as srv:
+        status, _, _ = _get(srv.url + "/metrics")
+    assert status == 200
+    assert attempts["n"] == 3
+
+
+def test_unwired_endpoint_is_404():
+    with ObsServer(metrics=lambda: "x 1\n") as srv:
+        assert _get(srv.url + "/healthz")[0] == 404
+
+
+def test_start_twice_raises():
+    srv = ObsServer(metrics=lambda: "")
+    srv.start()
+    try:
+        with pytest.raises(RuntimeError, match="already started"):
+            srv.start()
+    finally:
+        srv.stop()
+
+
+def test_stop_is_idempotent():
+    srv = ObsServer(metrics=lambda: "")
+    srv.start()
+    srv.stop()
+    srv.stop()  # must not raise
+    with pytest.raises(RuntimeError, match="not started"):
+        srv.port

@@ -40,11 +40,20 @@ from repro.fabric.report import (
     latency_percentiles,
     latency_summary,
     percentile,
+    scenario_accounting,
 )
-from repro.fabric.stream import StreamEvent, poisson_stream, run_stream, stream_truth
+from repro.fabric.stream import (
+    DEFAULT_SCENARIO_MIX,
+    StreamEvent,
+    mixed_scenario_stream,
+    poisson_stream,
+    run_stream,
+    stream_truth,
+)
 
 __all__ = [
     "BACKPRESSURE_MODES",
+    "DEFAULT_SCENARIO_MIX",
     "DeadlineExceeded",
     "Dispatcher",
     "FABRIC_REPORT_SCHEMA",
@@ -61,8 +70,10 @@ __all__ = [
     "fabric_report_json",
     "latency_percentiles",
     "latency_summary",
+    "mixed_scenario_stream",
     "percentile",
     "poisson_stream",
     "run_stream",
+    "scenario_accounting",
     "stream_truth",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "latency_percentiles",
     "latency_summary",
     "percentile",
+    "scenario_accounting",
 ]
 
 #: Format identifier embedded in every fabric report.
@@ -58,6 +59,41 @@ def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
     summary["mean"] = float(sum(samples) / len(samples))
     summary["max"] = float(max(samples))
     return summary
+
+
+def scenario_accounting(results, truth) -> Dict[str, Dict[str, float]]:
+    """Per-scenario link-quality counters for a completed stream run.
+
+    *results* maps task ids to fabric result objects (``.bits``),
+    *truth* maps the same ids to their ground-truth
+    :class:`~repro.runtime.workload.PacketCase` (``stream_truth``'s
+    output).  Packets with no scenario tag are grouped under
+    ``"baseline"``.  Each bucket carries ``packets``, ``bits``,
+    ``bit_errors``, ``ber`` and ``errors`` (packets whose worker raised
+    or whose decode never completed — excluded from the BER bits).
+    """
+    buckets: Dict[str, Dict[str, float]] = {}
+    for task_id, case in truth.items():
+        name = case.scenario or "baseline"
+        bucket = buckets.setdefault(
+            name,
+            {"packets": 0, "bits": 0, "bit_errors": 0, "ber": 0.0, "errors": 0},
+        )
+        bucket["packets"] += 1
+        result = results.get(task_id)
+        decoded = getattr(result, "bits", None)
+        if decoded is None:
+            bucket["errors"] += 1
+            continue
+        n = min(len(decoded), len(case.bits))
+        errs = int(sum(1 for a, b in zip(decoded[:n], case.bits[:n]) if a != b))
+        errs += max(len(case.bits) - n, 0)
+        bucket["bits"] += len(case.bits)
+        bucket["bit_errors"] += errs
+    for bucket in buckets.values():
+        if bucket["bits"]:
+            bucket["ber"] = bucket["bit_errors"] / bucket["bits"]
+    return buckets
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +185,7 @@ def fabric_prometheus_text(report: dict) -> str:
     _render_window(lines, report.get("window"))
     _render_workers(lines, report.get("per_worker", []))
     _render_cache(lines, report.get("cache"))
+    _render_scenarios(lines, report.get("scenarios"))
     return "\n".join(lines) + "\n"
 
 
@@ -242,6 +279,32 @@ def _render_workers(lines: List[str], per_worker: List[dict]) -> None:
                         full, cycles, {"worker": worker["index"], "cause": cause}
                     )
                 )
+
+
+_SCENARIO_FAMILIES = (
+    ("scenario_packets", "packets", "counter",
+     "Packets served per impairment scenario."),
+    ("scenario_bits", "bits", "counter",
+     "Payload bits checked against ground truth per scenario."),
+    ("scenario_bit_errors", "bit_errors", "counter",
+     "Decoded bit errors per scenario."),
+    ("scenario_ber", "ber", "gauge",
+     "Bit error rate per scenario over the whole run."),
+    ("scenario_task_errors", "errors", "counter",
+     "Packets per scenario whose decode raised or never completed."),
+)
+
+
+def _render_scenarios(lines: List[str], scenarios) -> None:
+    """Per-scenario link-quality counters (``scenario_accounting`` output)."""
+    if not scenarios:
+        return
+    for name, key, mtype, help_text in _SCENARIO_FAMILIES:
+        full = _family(lines, name, mtype, help_text)
+        for scenario, bucket in sorted(scenarios.items()):
+            lines.append(
+                prom_sample(full, bucket.get(key, 0), {"scenario": scenario})
+            )
 
 
 def _render_cache(lines: List[str], cache) -> None:

@@ -44,6 +44,7 @@ def poisson_stream(
     cfo_choices: Sequence[float] = (50e3,),
     snr_choices: Sequence[Optional[float]] = (None,),
     pad_choices: Sequence[int] = (0,),
+    scenario_choices: Sequence[Optional[str]] = (None,),
     params: OfdmParams = PARAMS_20MHZ_2X2,
 ) -> Iterator[StreamEvent]:
     """Yield a reproducible Poisson arrival process of mixed packets.
@@ -51,6 +52,11 @@ def poisson_stream(
     Bounded by *duration_s* and/or *n_packets* (at least one must be
     given).  The same ``base_seed`` always produces the same arrival
     times and the same packets.
+
+    *scenario_choices* mixes named impairment presets
+    (:mod:`repro.phy.scenario`) into the traffic; ``None`` entries keep
+    the classic identity-channel packet.  A scenario entry overrides the
+    per-packet CFO draw (the preset defines its own offset + jitter).
     """
     if rate_hz <= 0:
         raise ValueError("rate_hz must be positive, got %r" % (rate_hz,))
@@ -66,15 +72,63 @@ def poisson_stream(
         cfo = float(cfo_choices[int(rng.integers(len(cfo_choices)))])
         snr = snr_choices[int(rng.integers(len(snr_choices)))]
         pad = int(pad_choices[int(rng.integers(len(pad_choices)))])
+        # Singleton choice sets skip the extra RNG draw so classic
+        # streams replay byte-identically to the pre-scenario generator.
+        if len(scenario_choices) == 1:
+            scenario = scenario_choices[0]
+        else:
+            scenario = scenario_choices[int(rng.integers(len(scenario_choices)))]
         case = make_packet(
             seed=base_seed + 1000 + seq,
             cfo_hz=cfo,
             snr_db=snr,
             params=params,
             extra_pad=pad,
+            scenario=scenario,
         )
         yield StreamEvent(time_s=t, seq=seq, case=case)
         seq += 1
+
+
+#: Default traffic mix for :func:`mixed_scenario_stream` — the presets
+#: a serving fabric is expected to see concurrently (timing/quantisation
+#: stress excluded: those target the golden-modem estimator tests).
+DEFAULT_SCENARIO_MIX: Tuple[Optional[str], ...] = (
+    None,
+    "awgn",
+    "flat_fading",
+    "indoor_multipath",
+    "cfo_stress",
+)
+
+
+def mixed_scenario_stream(
+    rate_hz: float,
+    duration_s: Optional[float] = None,
+    n_packets: Optional[int] = None,
+    base_seed: int = 0,
+    scenarios: Sequence[Optional[str]] = DEFAULT_SCENARIO_MIX,
+    snr_choices: Sequence[Optional[float]] = (35.0, 25.0),
+    pad_choices: Sequence[int] = (0,),
+    params: OfdmParams = PARAMS_20MHZ_2X2,
+) -> Iterator[StreamEvent]:
+    """A Poisson stream cycling through the scenario matrix.
+
+    The one-call entry point for serving realistic heterogeneous
+    traffic: every packet draws a preset from *scenarios* (``None`` =
+    the classic reference packet) and an SNR from *snr_choices*, all
+    reproducibly seeded.
+    """
+    return poisson_stream(
+        rate_hz,
+        duration_s=duration_s,
+        n_packets=n_packets,
+        base_seed=base_seed,
+        snr_choices=snr_choices,
+        pad_choices=pad_choices,
+        scenario_choices=tuple(scenarios),
+        params=params,
+    )
 
 
 def run_stream(

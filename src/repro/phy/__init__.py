@@ -24,6 +24,9 @@ Modules
 ``ofdm``       Symbol (de)framing: CP handling, carrier (de)mapping,
                pilot phase tracking.
 ``modem_ref``  End-to-end reference transmitter and receiver.
+``scenario``   Named impairment presets (multipath/CFO/IQ/quantisation)
+               shared by the golden modem, the runtime workload
+               generator and the fabric stream mixer.
 """
 
 from repro.phy.params import OfdmParams, PARAMS_20MHZ_2X2
@@ -46,8 +49,21 @@ from repro.phy.preamble import (
 )
 from repro.phy.freq import fshift, cfo_compensate
 from repro.phy.channel import MimoChannel, awgn
-from repro.phy.mimo import estimate_channel, equalizer_coefficients, sdm_detect
+from repro.phy.mimo import (
+    IllConditionedChannelError,
+    estimate_channel,
+    equalizer_coefficients,
+    sdm_detect,
+)
 from repro.phy.ofdm import map_carriers, demap_carriers, add_cp, remove_cp, track_pilots
+from repro.phy.scenario import (
+    SCENARIOS,
+    Scenario,
+    apply_scenario,
+    get_scenario,
+    list_scenarios,
+    scenario_link,
+)
 
 __all__ = [
     "OfdmParams",
@@ -73,9 +89,16 @@ __all__ = [
     "cfo_compensate",
     "MimoChannel",
     "awgn",
+    "IllConditionedChannelError",
     "estimate_channel",
     "equalizer_coefficients",
     "sdm_detect",
+    "SCENARIOS",
+    "Scenario",
+    "apply_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_link",
     "map_carriers",
     "demap_carriers",
     "add_cp",

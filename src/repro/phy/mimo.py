@@ -12,9 +12,26 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
+
+
+class IllConditionedChannelError(ValueError):
+    """A per-carrier channel matrix is too ill-conditioned to invert.
+
+    Raised by :func:`equalizer_coefficients` in ``strict`` mode; in the
+    default flagging mode the offending carriers are zeroed in the
+    returned coefficients and reported through ``return_info``.
+    """
+
+    def __init__(self, carriers: Sequence[int], max_condition: float) -> None:
+        self.carriers = list(carriers)
+        self.max_condition = max_condition
+        super().__init__(
+            "channel condition number exceeds %.3g on carriers %s"
+            % (max_condition, self.carriers)
+        )
 
 
 def estimate_channel(
@@ -56,26 +73,63 @@ def estimate_channel(
     return h
 
 
+#: Gram-matrix condition number beyond which a carrier is treated as
+#: uninvertible.  ZF on such a carrier multiplies the noise by the
+#: condition number — at 64-QAM that silently converts one deep fade
+#: into a burst of hard symbol errors, which is why flagging (or
+#: raising) beats inverting anyway.
+DEFAULT_MAX_CONDITION = 1e8
+
+
 def equalizer_coefficients(
-    h: np.ndarray, carriers: Sequence[int], noise_var: float = 0.0
-) -> np.ndarray:
+    h: np.ndarray,
+    carriers: Sequence[int],
+    noise_var: float = 0.0,
+    max_condition: float = DEFAULT_MAX_CONDITION,
+    strict: bool = False,
+    return_info: bool = False,
+):
     """Per-carrier 2x2 ZF (``noise_var == 0``) or MMSE equaliser.
 
     ZF: ``W = (H^H H)^-1 H^H``; MMSE adds ``noise_var * I`` inside the
     inverse.  Implemented with the explicit 2x2 adjugate/determinant
     formula — the division by the determinant is the operation the
     hardware's 24-bit dividers serve.
+
+    Carriers whose regularised Gram matrix has a condition number above
+    *max_condition* (or a vanishing determinant) are not silently
+    inverted: in ``strict`` mode an :class:`IllConditionedChannelError`
+    is raised, otherwise their coefficients stay zero and the carrier is
+    reported in the info dict.  With ``return_info=True`` the return
+    value is ``(w, info)`` where ``info["ill_conditioned"]`` lists the
+    flagged carriers and ``info["condition"]`` maps carrier -> condition
+    number.
     """
     n_fft = h.shape[0]
     w = np.zeros((n_fft, 2, 2), dtype=np.complex128)
+    condition = {}
+    flagged = []
     for k in carriers:
         hk = h[k]
         a = hk.conj().T @ hk + noise_var * np.eye(2)
         det = a[0, 0] * a[1, 1] - a[0, 1] * a[1, 0]
-        if abs(det) < 1e-12:
+        # 2x2 Hermitian PSD condition number from the eigenvalue pair
+        # (trace/det give both roots); infinite when singular.
+        tr = float(np.real(a[0, 0] + a[1, 1]))
+        disc = max(tr * tr - 4.0 * float(np.real(det)), 0.0)
+        lam_max = (tr + np.sqrt(disc)) / 2.0
+        lam_min = (tr - np.sqrt(disc)) / 2.0
+        cond = lam_max / lam_min if lam_min > 0 else np.inf
+        condition[int(k)] = float(cond)
+        if abs(det) < 1e-12 or cond > max_condition:
+            flagged.append(int(k))
             continue
         inv = np.array([[a[1, 1], -a[0, 1]], [-a[1, 0], a[0, 0]]]) / det
         w[k] = inv @ hk.conj().T
+    if flagged and strict:
+        raise IllConditionedChannelError(flagged, max_condition)
+    if return_info:
+        return w, {"ill_conditioned": flagged, "condition": condition}
     return w
 
 
@@ -85,12 +139,29 @@ def sdm_detect(
     """Apply the per-carrier equaliser: ``x_hat[k] = W[k] @ y[k]``.
 
     *y* has shape (n_rx, n_fft); returns (n_tx, n_fft) with zeros on
-    unused carriers.
+    unused carriers.  Raises ``ValueError`` on mismatched shapes or
+    non-finite coefficients instead of propagating garbage symbols into
+    the demapper.
     """
+    y = np.asarray(y)
+    w = np.asarray(w)
+    if y.ndim != 2:
+        raise ValueError("y must be (n_rx, n_fft), got shape %s" % (y.shape,))
+    if w.ndim != 3 or w.shape[0] != y.shape[1] or w.shape[2] != y.shape[0]:
+        raise ValueError(
+            "equaliser shape %s incompatible with y shape %s: expected "
+            "(n_fft, n_tx, n_rx) = (%d, *, %d)"
+            % (w.shape, y.shape, y.shape[1], y.shape[0])
+        )
     n_rx, n_fft = y.shape
     out = np.zeros((w.shape[1], n_fft), dtype=np.complex128)
     for k in carriers:
-        out[:, k] = w[k] @ y[:, k]
+        if not (0 <= k < n_fft):
+            raise ValueError("carrier index %d outside 0..%d" % (k, n_fft - 1))
+        wk = w[k]
+        if not np.all(np.isfinite(wk.view(np.float64))):
+            raise ValueError("non-finite equaliser coefficients on carrier %d" % k)
+        out[:, k] = wk @ y[:, k]
     return out
 
 

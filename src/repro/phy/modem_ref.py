@@ -72,6 +72,19 @@ def transmit(
     )
 
 
+#: Samples the symbol timing is backed off into the cyclic prefix.  The
+#: leading-edge xcorr estimate can land anywhere between the
+#: 8-sample-early CSD image of stream 1 and the first significant
+#: multipath tap.  A *late* FFT window clips samples of the next symbol
+#: — a linear, ISI-corrupted shift that floors 64-QAM BER near 10%
+#: regardless of SNR (the defect behind the old 7% high-SNR floor).
+#: Backing off 3 samples keeps the window inside the ISI-free CP span
+#: for the whole jitter range; the resulting per-carrier phase ramp is
+#: common to training and data windows, so the channel estimate absorbs
+#: it exactly.
+TIMING_BACKOFF = 3
+
+
 @dataclass
 class RxResult:
     """Receiver outputs and intermediate estimates."""
@@ -82,15 +95,23 @@ class RxResult:
     channel: np.ndarray  # (n_fft, n_rx, n_tx)
     equalizer: np.ndarray  # (n_fft, n_tx, n_rx)
     evm: float
+    noise_var: float = 0.0
+    ltf1_start: int = 0
+    flagged_carriers: Tuple[int, ...] = ()
 
 
 def receive(
     rx: np.ndarray,
     n_symbols: int,
     params: OfdmParams = PARAMS_20MHZ_2X2,
-    noise_var: float = 0.0,
+    noise_var: Optional[float] = None,
 ) -> RxResult:
-    """Run the full receive chain on (n_rx, n_samples) waveforms."""
+    """Run the full receive chain on (n_rx, n_samples) waveforms.
+
+    *noise_var* is the carrier-level noise variance handed to the MMSE
+    equaliser; ``None`` (the default) estimates it from the legacy LTF
+    repetition, ``0.0`` forces pure ZF.
+    """
     rx = np.atleast_2d(np.asarray(rx, dtype=np.complex128))
     fs = params.sample_rate_hz
     n_fft, n_cp = params.n_fft, params.n_cp
@@ -100,26 +121,38 @@ def receive(
     detect = preamble.detect_packet(rx[0], lag=16, window=32)
     if detect < 0:
         detect = 0
-    # Coarse CFO from the STF (lag-16 autocorrelation).
-    stf_region = rx[0][detect : detect + 160]
-    coarse = preamble.estimate_cfo(stf_region, lag=16, window=96, sample_rate_hz=fs)
+    # Coarse CFO from the STF: plateau-averaged lag-16 autocorrelation,
+    # combined over all receive antennas.
+    coarse = preamble.estimate_cfo_multi(
+        rx[:, detect : detect + 160], lag=16, window=32, sample_rate_hz=fs
+    )
     comp = np.vstack([cfo_compensate(row, coarse, fs) for row in rx])
     # Timing from the LTF cross-correlation (xcorr kernel).  The
     # reference is the full double long symbol (128 samples), whose
     # correlation peak is unique at the first legacy long symbol (a
-    # single-symbol reference would also peak on the HT-LTFs).
+    # single-symbol reference would also peak on the HT-LTFs).  The
+    # |xcorr|^2 metric is combined over antennas and the strongest peak
+    # is then backed off into the CP (see TIMING_BACKOFF).
     sym = preamble.ltf_symbol(n_fft)
     ref = np.concatenate([sym, sym])
-    search = comp[0][detect : detect + 400]
-    t_peak = preamble.timing_from_xcorr(search, ref)
-    # The legacy LTF holds two back-to-back long symbols; the xcorr peaks
-    # at the first; the full legacy preamble is 320 samples from its CP.
-    ltf1_start = detect + t_peak
-    # Fine CFO from the repetition of the two long symbols (lag 64).
-    fine_region = comp[0][ltf1_start : ltf1_start + 128]
-    fine = preamble.estimate_cfo(fine_region, lag=64, window=64, sample_rate_hz=fs)
+    t_peak = preamble.timing_from_xcorr_multi(comp[:, detect : detect + 400], ref)
+    ltf1_start = max(detect + t_peak - TIMING_BACKOFF, 0)
+    # Fine CFO from the repetition of the two long symbols (lag 64),
+    # again antenna-combined.  The backed-off window stays inside the
+    # 64-periodic span of the legacy LTF (CP included), so the lag-64
+    # correlation remains unbiased.
+    fine = preamble.estimate_cfo_multi(
+        comp[:, ltf1_start : ltf1_start + 128], lag=64, window=64, sample_rate_hz=fs
+    )
     comp = np.vstack([cfo_compensate(row, fine, fs) for row in comp])
     cfo_total = coarse + fine
+
+    # Noise estimate from the two identical legacy long symbols; scaled
+    # to carrier level for the MMSE equaliser (unit-energy QAM symbols
+    # and the receiver's 1/N FFT convention give a factor of n_fft).
+    noise_time = preamble.estimate_noise_variance(comp, ltf1_start, n_fft)
+    if noise_var is None:
+        noise_var = noise_time * n_fft
 
     # HT-LTFs follow the two legacy long symbols: each 80 samples (16 CP).
     ht_start = ltf1_start + 2 * n_fft
@@ -133,7 +166,9 @@ def receive(
     ltf_ref = preamble.ht_ltf_sequence(n_fft).astype(np.complex128) / n_fft
     carriers = params.used_carriers
     h = mimo.estimate_channel(ltf_fd, ltf_ref, carriers)
-    w = mimo.equalizer_coefficients(h, carriers, noise_var=noise_var)
+    w, eq_info = mimo.equalizer_coefficients(
+        h, carriers, noise_var=noise_var, return_info=True
+    )
 
     # --- data phase -------------------------------------------------------
     data_start = ht_start + 2 * (n_fft + 16)
@@ -165,6 +200,9 @@ def receive(
         channel=h,
         equalizer=w,
         evm=evm,
+        noise_var=float(noise_var),
+        ltf1_start=ltf1_start,
+        flagged_carriers=tuple(eq_info["ill_conditioned"]),
     )
 
 
@@ -182,14 +220,13 @@ def run_link(
     bits = rng.integers(0, 2, size=n_symbols * per_symbol)
     tx = transmit(bits, params)
     chan = channel if channel is not None else MimoChannel.identity(params.n_streams)
-    noise_var = 0.0
     rx_wave = chan.apply(
         tx.waveform, snr_db=snr_db, cfo_hz=cfo_hz, sample_rate_hz=params.sample_rate_hz
     )
     # The receiver keeps sampling past the packet; give it tail margin so
     # late timing estimates never run off the buffer.
     rx_wave = np.pad(rx_wave, ((0, 0), (0, 2 * params.symbol_samples)))
-    result = receive(rx_wave, n_symbols, params, noise_var=noise_var)
+    result = receive(rx_wave, n_symbols, params, noise_var=None)
     n = min(len(result.bits), len(bits))
     ber = float(np.mean(result.bits[:n] != bits[:n])) if n else 1.0
     return tx, result, ber

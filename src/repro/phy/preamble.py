@@ -89,18 +89,35 @@ def mimo_preamble(n_fft: int = 64, n_streams: int = 2) -> np.ndarray:
     LTF_a with the P-matrix sign pattern so the two spatial channels can
     be separated per carrier: over the two HT-LTF symbols, stream 0
     sends (+L, +L) and stream 1 sends (+L, -L).
+
+    Stream 1's legacy portion carries an 8-sample cyclic-shift diversity
+    (CSD) so the superposed streams do not beamform.  The shift is
+    applied *per OFDM symbol* (circular within each training symbol,
+    with the cyclic prefix taken from the shifted symbol), as 802.11n
+    specifies.  Rolling the whole legacy field instead — an earlier bug
+    — wrapped STF samples into the tail of stream 1's LTF, which broke
+    the lag-64 repetition the fine CFO estimator relies on and biased
+    it by a couple of kHz even on a noiseless channel.
     """
     stf = short_training_field(n_fft)
+    lsym = ltf_symbol(n_fft)
     sym = ht_ltf_symbol(n_fft)
     ht_ltf1 = np.concatenate([sym[-16:], sym])  # 80 samples
     ht_ltf2 = np.concatenate([sym[-16:], sym])
-    legacy = np.concatenate([stf, long_training_field(n_fft)])
     rows = []
     for stream in range(n_streams):
         sign2 = -1.0 if stream == 1 else 1.0
-        # Cyclic shift on stream 1's legacy part avoids unintended
-        # beamforming; 8-sample circular shift.
-        leg = np.roll(legacy, -8) if stream == 1 else legacy
+        if stream == 1:
+            # The STF is a tiling of one 16-sample symbol, so the whole-
+            # field roll *is* the per-symbol circular shift there; the
+            # LTF must be rebuilt from the shifted long symbol so its CP
+            # stays consistent and the field stays 64-periodic.
+            shifted = np.roll(lsym, -8)
+            leg = np.concatenate(
+                [np.roll(stf, -8), shifted[-32:], shifted, shifted]
+            )
+        else:
+            leg = np.concatenate([stf, long_training_field(n_fft)])
         rows.append(np.concatenate([leg, ht_ltf1, sign2 * ht_ltf2]))
     return np.vstack(rows)
 
@@ -161,27 +178,135 @@ def detect_packet(
 
 
 def estimate_cfo(x: np.ndarray, lag: int, window: int, sample_rate_hz: float) -> float:
-    """CFO from the phase of the lag-*lag* autocorrelation (in Hz)."""
+    """CFO from the phase of the lag-*lag* autocorrelation (in Hz).
+
+    All correlation samples within 75% of the peak magnitude — the
+    plateau the repeated training structure produces — are summed before
+    taking the phase.  Using a single peak sample (the old behaviour)
+    left several hundred Hz of error even at 45 dB SNR because one
+    sliding-window position carries the full estimation variance;
+    coherent plateau averaging divides that variance by the plateau
+    length.
+    """
+    acc = plateau_correlation(x, lag, window)
+    if acc == 0:
+        return 0.0
+    return float(np.angle(acc) / (2 * np.pi * lag) * sample_rate_hz)
+
+
+def plateau_correlation(
+    x: np.ndarray, lag: int, window: int, threshold: float = 0.75
+) -> complex:
+    """Sum of autocorrelation samples within *threshold* of the peak.
+
+    The building block of the plateau-averaged CFO estimators: callers
+    accumulate this over antennas for maximum-ratio combining before
+    taking the phase.
+    """
     corr = autocorrelate(x, lag, window)
     if len(corr) == 0:
+        return 0.0 + 0.0j
+    mag = np.abs(corr)
+    peak = float(mag.max())
+    if peak <= 0:
+        return 0.0 + 0.0j
+    return complex(np.sum(corr[mag >= threshold * peak]))
+
+
+def estimate_cfo_multi(
+    rows: np.ndarray, lag: int, window: int, sample_rate_hz: float
+) -> float:
+    """Antenna-combined CFO estimate (Hz) over an (n_rx, n) sample block.
+
+    Every receive antenna observes the same frequency offset, so their
+    plateau correlations add coherently; combining them before the
+    ``angle`` is maximum-ratio combining across the array.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.complex128))
+    acc = 0.0 + 0.0j
+    for row in rows:
+        acc += plateau_correlation(row, lag, window)
+    if acc == 0:
         return 0.0
-    # Use the strongest correlation sample for robustness.
-    peak = corr[np.argmax(np.abs(corr))]
-    return float(np.angle(peak) / (2 * np.pi * lag) * sample_rate_hz)
+    return float(np.angle(acc) / (2 * np.pi * lag) * sample_rate_hz)
 
 
 def timing_from_xcorr(x: np.ndarray, ref: np.ndarray) -> int:
-    """Symbol timing: earliest cross-correlation peak within 90% of max.
+    """Symbol timing: index of the strongest cross-correlation peak.
 
-    The long training field repeats the reference symbol, so several
-    near-equal peaks appear 64 samples apart; the earliest one marks the
-    first long symbol.
+    Returns the first index on exact ties.  The earlier
+    earliest-within-90%-of-max rule was a latent defect: over a
+    multipath channel the correlation smears across the delay spread and
+    the 8-sample CSD on stream 1 adds a ghost peak, so "earliest within
+    90%" could land the FFT window up to several samples *late* — past
+    the cyclic prefix of the next symbol — turning every data symbol
+    into an ISI-corrupted linear (not circular) shift.  Receivers must
+    instead take the strongest path and back the window off into the CP
+    (see ``modem_ref.TIMING_BACKOFF``).
     """
     corr = np.abs(cross_correlate(x, ref))
     if len(corr) == 0:
         return 0
-    peak = float(np.max(corr))
-    if peak <= 0:
+    return int(np.argmax(corr))
+
+
+#: Leading-edge search parameters for :func:`timing_from_xcorr_multi`:
+#: how far before the correlation peak the first arrival is searched
+#: for, and the power fraction that counts as an arrival.
+TIMING_EDGE_SPAN = 8
+TIMING_EDGE_FRACTION = 0.3
+
+
+def timing_from_xcorr_multi(rows: np.ndarray, ref: np.ndarray) -> int:
+    """Antenna-combined symbol timing with leading-edge selection.
+
+    The |xcorr|^2 metric is summed over receive antennas (non-coherent
+    combining — per-antenna correlation phases differ with the channel,
+    so powers add).  The returned index is the *first arrival*: the
+    earliest sample within ``TIMING_EDGE_SPAN`` before the strongest
+    peak whose power reaches ``TIMING_EDGE_FRACTION`` of it.  On a
+    multipath channel the strongest peak rides the strongest tap, which
+    can be several samples *after* the first tap (and after stream 1's
+    CSD image); locking to the leading edge keeps the subsequent
+    CP back-off (``modem_ref.TIMING_BACKOFF``) inside the ISI-free span
+    even when the delay spread approaches the cyclic prefix.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.complex128))
+    power: np.ndarray = np.zeros(0)
+    for row in rows:
+        mag2 = np.abs(cross_correlate(row, ref)) ** 2
+        if len(mag2) == 0:
+            continue
+        if len(power) == 0:
+            power = mag2
+        else:
+            n = min(len(power), len(mag2))
+            power = power[:n] + mag2[:n]
+    if len(power) == 0:
         return 0
-    candidates = np.nonzero(corr >= 0.9 * peak)[0]
-    return int(candidates[0])
+    peak = int(np.argmax(power))
+    lo = max(peak - TIMING_EDGE_SPAN, 0)
+    edge = np.nonzero(power[lo : peak + 1] >= TIMING_EDGE_FRACTION * power[peak])[0]
+    return lo + int(edge[0]) if len(edge) else peak
+
+
+def estimate_noise_variance(rows: np.ndarray, ltf1_start: int, n_fft: int = 64) -> float:
+    """Per-sample noise power from the legacy LTF repetition.
+
+    The two back-to-back long training symbols carry identical signal on
+    every stream, so ``y[n + n_fft] - y[n]`` across the first symbol is
+    pure noise with twice the per-sample variance.  Averaged over
+    antennas; this is what calibrates the MMSE equaliser without an
+    oracle SNR.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.complex128))
+    acc, count = 0.0, 0
+    for row in rows:
+        a = row[ltf1_start : ltf1_start + n_fft]
+        b = row[ltf1_start + n_fft : ltf1_start + 2 * n_fft]
+        n = min(len(a), len(b))
+        if n == 0:
+            continue
+        acc += float(np.mean(np.abs(a[:n] - b[:n]) ** 2)) / 2.0
+        count += 1
+    return acc / count if count else 0.0

@@ -3,13 +3,20 @@
 import numpy as np
 import pytest
 
-from repro.fabric import poisson_stream
+from repro.fabric import (
+    DEFAULT_SCENARIO_MIX,
+    mixed_scenario_stream,
+    poisson_stream,
+    scenario_accounting,
+)
 from repro.fabric.report import (
     fabric_prometheus_text,
     latency_percentiles,
     latency_summary,
     percentile,
 )
+from repro.phy.scenario import get_scenario
+from repro.runtime.workload import PacketCase
 
 
 def test_stream_is_reproducible():
@@ -65,6 +72,86 @@ def test_stream_mixes_declared_traffic_only():
     assert len(seen_len) == 2, "both shapes should appear in 24 draws"
     lens = sorted(seen_len)
     assert lens[1] - lens[0] == 64
+
+
+def test_singleton_scenario_choice_keeps_classic_stream_identical():
+    """Adding scenario_choices=(None,) must not consume extra RNG draws:
+    existing callers replay byte-identical streams."""
+    a = list(poisson_stream(rate_hz=500.0, n_packets=5, base_seed=19))
+    b = list(
+        poisson_stream(
+            rate_hz=500.0, n_packets=5, base_seed=19, scenario_choices=(None,)
+        )
+    )
+    for ea, eb in zip(a, b):
+        assert ea.time_s == eb.time_s
+        assert np.array_equal(ea.case.rx, eb.case.rx)
+        assert ea.case.scenario is None
+
+
+def test_mixed_scenario_stream_draws_declared_presets_reproducibly():
+    a = list(mixed_scenario_stream(rate_hz=1000.0, n_packets=20, base_seed=9))
+    b = list(mixed_scenario_stream(rate_hz=1000.0, n_packets=20, base_seed=9))
+    for ea, eb in zip(a, b):
+        assert ea.case.scenario == eb.case.scenario
+        assert np.array_equal(ea.case.rx, eb.case.rx)
+    names = {e.case.scenario for e in a}
+    declared = {name for name in DEFAULT_SCENARIO_MIX}
+    assert names <= declared
+    assert len(names) >= 3, "20 draws should mix several presets"
+
+
+def test_scenario_packets_record_preset_cfo_truth():
+    events = list(
+        mixed_scenario_stream(
+            rate_hz=1000.0, n_packets=16, base_seed=5, scenarios=("cfo_stress",)
+        )
+    )
+    preset = get_scenario("cfo_stress")
+    for event in events:
+        assert event.case.scenario == "cfo_stress"
+        assert event.case.cfo_hz == preset.packet_cfo_hz(event.case.seed)
+
+
+def test_scenario_accounting_buckets_and_ber():
+    bits = np.array([0, 1, 1, 0], dtype=np.int64)
+
+    class _Result:
+        def __init__(self, decoded):
+            self.bits = decoded
+
+    def case(scenario):
+        return PacketCase(
+            seed=0, cfo_hz=0.0, snr_db=None, bits=bits,
+            rx=np.zeros((2, 1)), scenario=scenario,
+        )
+
+    truth = {1: case("awgn"), 2: case("awgn"), 3: case(None), 4: case("cfo_stress")}
+    results = {
+        1: _Result(bits.copy()),                      # clean decode
+        2: _Result(np.array([1, 1, 1, 0])),           # 1 bit error
+        3: _Result(bits.copy()),
+        # task 4 missing: crashed / never completed -> errors bucket
+    }
+    acct = scenario_accounting(results, truth)
+    assert acct["awgn"] == {
+        "packets": 2, "bits": 8, "bit_errors": 1, "ber": 0.125, "errors": 0,
+    }
+    assert acct["baseline"]["ber"] == 0.0
+    assert acct["cfo_stress"]["errors"] == 1
+    assert acct["cfo_stress"]["bits"] == 0
+
+
+def test_prometheus_renders_scenario_families():
+    report = {
+        "counters": {"completed": 2},
+        "scenarios": {
+            "awgn": {"packets": 2, "bits": 8, "bit_errors": 1, "ber": 0.125, "errors": 0}
+        },
+    }
+    text = fabric_prometheus_text(report)
+    assert 'repro_fabric_scenario_packets{scenario="awgn"} 2' in text
+    assert 'repro_fabric_scenario_ber{scenario="awgn"} 0.125' in text
 
 
 def test_stream_argument_validation():

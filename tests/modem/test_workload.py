@@ -44,6 +44,47 @@ def test_extra_pad_validation():
         make_packet(0, extra_pad=-1)
 
 
+def test_scenario_packet_is_tagged_and_reproducible():
+    from repro.phy.scenario import get_scenario
+
+    a = make_packet(5, scenario="indoor_multipath")
+    b = make_packet(5, scenario="indoor_multipath")
+    assert a.scenario == "indoor_multipath"
+    assert a.snr_db == get_scenario("indoor_multipath").snr_db_default
+    assert np.array_equal(a.rx, b.rx)
+    # Same payload bits as the classic packet (the seed owns the bits),
+    # different waveform (the scenario owns the channel).
+    base = make_packet(5)
+    assert np.array_equal(a.bits, base.bits)
+    assert not np.array_equal(a.rx, base.rx)
+    assert a.rx.shape == base.rx.shape
+
+
+def test_scenario_records_drawn_cfo_truth():
+    from repro.phy.scenario import get_scenario
+
+    preset = get_scenario("cfo_stress")
+    case = make_packet(9, cfo_hz=50e3, scenario="cfo_stress")
+    # The preset's seeded draw overrides the cfo_hz argument and is
+    # recorded so downstream consumers see the actual channel truth.
+    assert case.cfo_hz == preset.packet_cfo_hz(9)
+    assert case.cfo_hz != 50e3
+
+
+def test_scenario_timing_offset_changes_shape():
+    from repro.phy.scenario import get_scenario
+
+    base = make_packet(3)
+    stressed = make_packet(3, scenario="timing_stress")
+    offset = get_scenario("timing_stress").timing_offset
+    assert stressed.rx.shape[1] == base.rx.shape[1] + offset
+
+
+def test_unknown_scenario_name_raises():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        make_packet(0, scenario="not_a_preset")
+
+
 def test_generate_packets_seeds_are_consecutive_and_reproducible():
     batch = generate_packets(4, base_seed=10)
     assert [p.seed for p in batch] == [10, 11, 12, 13]

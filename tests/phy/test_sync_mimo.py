@@ -66,6 +66,145 @@ class TestPreambleSync:
         assert t == 37
 
 
+class TestSyncDefectRegressions:
+    """Pinned regressions for the defects behind the old 7% BER floor."""
+
+    fs = 20e6
+
+    def test_stream1_legacy_ltf_keeps_lag64_periodicity(self):
+        """The CSD on stream 1 must be a per-symbol circular shift.  The
+        old whole-field np.roll wrapped STF samples into the LTF tail,
+        breaking the lag-64 repetition the fine CFO estimator relies on."""
+        pre = preamble.mimo_preamble(64, 2)
+        # Legacy LTF region: 32-sample CP at 160, long symbols at 192/256.
+        sym1 = pre[1, 192:256]
+        sym2 = pre[1, 256:320]
+        assert np.allclose(sym1, sym2)
+        assert np.allclose(pre[1, 160:192], sym1[-32:])
+        # And it is genuinely the CSD-shifted symbol, not stream 0's.
+        assert np.allclose(sym1, np.roll(pre[0, 192:256], -8))
+
+    def test_fine_cfo_unbiased_at_zero_offset(self):
+        """Both streams arriving at a 2-antenna receiver over an identity
+        channel: the lag-64 estimate over the legacy LTF must be ~0 Hz
+        (the wrapped-STF defect biased it by a couple of kHz)."""
+        pre = preamble.mimo_preamble(64, 2)
+        est = preamble.estimate_cfo_multi(
+            pre[:, 189:317], lag=64, window=64, sample_rate_hz=self.fs
+        )
+        assert abs(est) < 100.0
+
+    def test_estimate_cfo_multi_combines_antennas(self):
+        from repro.phy.freq import fshift
+        stf = preamble.short_training_field()
+        rng = np.random.default_rng(17)
+        rows = []
+        for gain in (1.0, 0.3):
+            row = gain * fshift(stf, 120e3, self.fs)
+            row = row + 0.01 * (
+                rng.normal(size=row.shape) + 1j * rng.normal(size=row.shape)
+            )
+            rows.append(row)
+        est = preamble.estimate_cfo_multi(
+            np.vstack(rows), lag=16, window=32, sample_rate_hz=self.fs
+        )
+        assert est == pytest.approx(120e3, rel=0.02)
+
+    def test_timing_multi_picks_leading_edge_over_strongest_peak(self):
+        """A first arrival at 30% of the peak power within the search
+        span must win over the (later) strongest multipath tap."""
+        sym = preamble.ltf_symbol()
+        ref = np.concatenate([sym, sym])
+        first = np.concatenate([np.zeros(40), ref, np.zeros(32)])
+        strongest = 1.4 * np.concatenate([np.zeros(45), ref, np.zeros(27)])
+        rows = np.vstack([first + strongest, first + strongest])
+        t = preamble.timing_from_xcorr_multi(rows, ref)
+        assert t == 40
+
+    def test_timing_multi_ignores_subthreshold_precursor(self):
+        sym = preamble.ltf_symbol()
+        ref = np.concatenate([sym, sym])
+        ghost = 0.2 * np.concatenate([np.zeros(40), ref, np.zeros(32)])
+        main = np.concatenate([np.zeros(46), ref, np.zeros(26)])
+        rows = np.vstack([ghost + main, ghost + main])
+        # 0.2 amplitude -> 4% correlation power, below the 30% edge
+        # fraction: the estimator must stay on the main arrival.
+        assert preamble.timing_from_xcorr_multi(rows, ref) == 46
+
+    def test_noise_variance_estimate_tracks_injected_noise(self):
+        rng = np.random.default_rng(23)
+        lt = preamble.long_training_field()
+        sigma = 0.05
+        rows = np.vstack([lt, lt]) + sigma * (
+            rng.normal(size=(2, 160)) + 1j * rng.normal(size=(2, 160))
+        )
+        est = preamble.estimate_noise_variance(rows, ltf1_start=32)
+        true_var = 2 * sigma**2
+        assert est == pytest.approx(true_var, rel=0.35)
+
+    def test_noise_variance_zero_without_noise(self):
+        lt = preamble.long_training_field()
+        rows = np.vstack([lt, lt])
+        assert preamble.estimate_noise_variance(rows, ltf1_start=32) < 1e-20
+
+
+class TestConditionGuard:
+    params = PARAMS_20MHZ_2X2
+
+    def _channel_with_singular_carrier(self, k_bad):
+        chan = MimoChannel(seed=30)
+        h = chan.frequency_response(64)
+        h[k_bad] = np.array([[1.0, 1.0], [1.0, 1.0]])  # rank deficient
+        return h
+
+    def test_ill_conditioned_carrier_is_flagged_not_inverted(self):
+        k_bad = 7
+        h = self._channel_with_singular_carrier(k_bad)
+        w, info = mimo.equalizer_coefficients(
+            h, self.params.used_carriers, return_info=True
+        )
+        assert k_bad in info["ill_conditioned"]
+        assert np.all(w[k_bad] == 0)
+        assert np.isinf(info["condition"][k_bad])
+        # Every other carrier still inverts cleanly.
+        for k in self.params.used_carriers:
+            if k == k_bad:
+                continue
+            assert np.allclose(w[k] @ h[k], np.eye(2), atol=1e-9)
+
+    def test_strict_mode_raises_with_carrier_list(self):
+        k_bad = 7
+        h = self._channel_with_singular_carrier(k_bad)
+        with pytest.raises(mimo.IllConditionedChannelError) as exc:
+            mimo.equalizer_coefficients(
+                h, self.params.used_carriers, strict=True
+            )
+        assert k_bad in exc.value.carriers
+
+    def test_condition_threshold_flags_near_singular(self):
+        h = self._channel_with_singular_carrier(7)
+        h[9] = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-6]])  # cond ~ 4e6
+        _w, info = mimo.equalizer_coefficients(
+            h, self.params.used_carriers, max_condition=1e5, return_info=True
+        )
+        assert {7, 9} <= set(info["ill_conditioned"])
+
+    def test_sdm_detect_rejects_bad_shapes_and_nonfinite(self):
+        h = MimoChannel(seed=31).frequency_response(64)
+        w = mimo.equalizer_coefficients(h, self.params.used_carriers)
+        y = np.zeros((2, 64), dtype=np.complex128)
+        with pytest.raises(ValueError):
+            mimo.sdm_detect(y[0], w, self.params.used_carriers)
+        with pytest.raises(ValueError):
+            mimo.sdm_detect(y, w[:32], self.params.used_carriers)
+        with pytest.raises(ValueError):
+            mimo.sdm_detect(y, w, (63, 64))
+        w_bad = w.copy()
+        w_bad[10, 0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            mimo.sdm_detect(y, w_bad, self.params.used_carriers)
+
+
 class TestFrequencyShift:
     fs = 20e6
 

@@ -31,9 +31,11 @@ from repro.fabric.fabric import (
     FabricClosed,
     FabricError,
     FabricTaskError,
+    SubmitOutcome,
     SubmitTimeout,
 )
 from repro.fabric.report import (
+    COMPATIBLE_REPORT_SCHEMAS,
     FABRIC_REPORT_SCHEMA,
     fabric_prometheus_text,
     fabric_report_json,
@@ -53,6 +55,7 @@ from repro.fabric.stream import (
 
 __all__ = [
     "BACKPRESSURE_MODES",
+    "COMPATIBLE_REPORT_SCHEMAS",
     "DEFAULT_SCENARIO_MIX",
     "DeadlineExceeded",
     "Dispatcher",
@@ -64,6 +67,7 @@ __all__ = [
     "FabricTaskError",
     "POLICIES",
     "StreamEvent",
+    "SubmitOutcome",
     "SubmitTimeout",
     "WorkerState",
     "fabric_prometheus_text",

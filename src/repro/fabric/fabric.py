@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -70,7 +71,40 @@ class FabricClosed(FabricError):
 
 
 class SubmitTimeout(FabricError):
-    """``block`` submission could not find queue space in time."""
+    """``block`` submission could not find queue space in time.
+
+    Carries the facts as attributes (``timeout_s``, ``outstanding``,
+    ``workers``) so callers — the ingest layer above all — never parse
+    the message string.
+    """
+
+    def __init__(self, timeout_s: float, outstanding: int, workers: int) -> None:
+        super().__init__(
+            "no queue space within %.1fs (%d outstanding across %d workers)"
+            % (timeout_s, outstanding, workers)
+        )
+        self.timeout_s = timeout_s
+        self.outstanding = outstanding
+        self.workers = workers
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """The typed result of one :meth:`Fabric.offer` call.
+
+    Exactly one of the two shapes: accepted (``task_id`` set, ``reason``
+    None) or shed (``task_id`` None, ``reason`` naming which counter
+    took the packet — ``"dropped"`` for drop-mode shedding,
+    ``"rejected"`` for a deadline miss at submission).  ``block`` mode
+    never sheds; it raises :class:`SubmitTimeout` instead.
+    """
+
+    task_id: Optional[int]
+    reason: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.task_id is not None
 
 
 class DeadlineExceeded(FabricError):
@@ -201,6 +235,7 @@ class Fabric:
         self._obs_port = obs_port
         self._obs_server = None
         self._last_pump_ts: Optional[float] = None
+        self._ingest = None  # attached IngestServer (repro.ingest)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -318,6 +353,23 @@ class Fabric:
         ``deadline`` mode an *accepted* packet can still expire while
         queued; its id then resolves to a :class:`DeadlineExceeded`
         sentinel in :meth:`results` (also counted in ``rejected``).
+        Callers that need the shed *reason* use :meth:`offer`.
+        """
+        return self.offer(rx, n_symbols, detect_hint, deadline_s).task_id
+
+    def offer(
+        self,
+        rx: np.ndarray,
+        n_symbols: int = 2,
+        detect_hint: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> SubmitOutcome:
+        """Offer one packet; returns a typed :class:`SubmitOutcome`.
+
+        Same semantics as :meth:`submit`, but a shed packet comes back
+        as ``SubmitOutcome(None, reason)`` with *reason* naming the
+        counter that took it (``"dropped"`` / ``"rejected"``) — no
+        string matching, no conflating the two shed paths.
         """
         self._require_open()
         self._pump(0)
@@ -332,22 +384,27 @@ class Fabric:
         )
         target = self._dispatcher.select(self._states(), shape)
         if target is None:
-            target = self._wait_for_capacity(task)
+            target, reason = self._wait_for_capacity(task)
             if target is None:
-                return None  # shed; already accounted
+                return SubmitOutcome(None, reason)  # shed; already accounted
         self._next_task_id += 1
         self._counters["submitted"] += 1
         self._window.count("submitted")
         target.assign(task)
         self._feed(self._workers[target.index])
-        return task.task_id
+        return SubmitOutcome(task.task_id)
 
-    def _wait_for_capacity(self, task: FabricTask) -> Optional[WorkerState]:
+    def _wait_for_capacity(self, task):
+        """Find a slot per the backpressure mode.
+
+        Returns ``(WorkerState, None)`` on success or ``(None, reason)``
+        when the packet was shed — reason is the counter that took it.
+        """
         if self.backpressure == "drop":
             self._counters["dropped"] += 1
             self._window.count("dropped")
             self._event("packet_dropped", {"shape": list(task.shape)})
-            return None
+            return None, "dropped"
         if self.backpressure == "deadline":
             limit = task.deadline_t
         else:  # block
@@ -359,16 +416,13 @@ class Fabric:
             self._pump(min(0.05, remaining))
             target = self._dispatcher.select(self._states(), task.shape)
             if target is not None:
-                return target
+                return target, None
         if self.backpressure == "deadline":
             self._counters["rejected"] += 1
             self._window.count("rejected")
             self._event("packet_rejected", {"shape": list(task.shape)})
-            return None
-        raise SubmitTimeout(
-            "no queue space within %.1fs (%d outstanding across %d workers)"
-            % (self.submit_timeout_s, self.outstanding, self.n_workers)
-        )
+            return None, "rejected"
+        raise SubmitTimeout(self.submit_timeout_s, self.outstanding, self.n_workers)
 
     def _feed(self, worker: _Worker) -> None:
         """Move pending packets into the pipe, up to ``max_inflight``."""
@@ -667,6 +721,24 @@ class Fabric:
         """Base URL of the live telemetry server (None when not serving)."""
         return self._obs_server.url if self._obs_server is not None else None
 
+    def attach_ingest(self, ingest) -> None:
+        """Attach an :class:`~repro.ingest.server.IngestServer`.
+
+        The fabric report gains an ``ingest`` section, ``/healthz`` an
+        ``ingest:listener`` check, and ``/metrics`` the
+        ``repro_ingest_*`` families.  The latest attachment wins.
+        """
+        self._ingest = ingest
+        self._event("ingest_attached", {"name": getattr(ingest, "name", "?")})
+
+    def ingest_event(self, kind: str, n: int = 1) -> None:
+        """Record an ingest event in the rolling window.
+
+        Safe from the ingest listener thread: the windowed counters are
+        internally locked, unlike the fabric's task queues.
+        """
+        self._window.count(kind, n)
+
     def events(self) -> List[dict]:
         """Recent lifecycle events, oldest first (``/events.json``)."""
         return self._event_log.snapshot()
@@ -744,6 +816,13 @@ class Fabric:
         checks["fabric:pump"] = [pump_check]
         if pump_stale:
             worst = max(worst, "warn", key=lambda v: order[v])
+        if self._ingest is not None:
+            for name, details in self._ingest.health_checks().items():
+                checks[name] = details
+                for detail in details:
+                    worst = max(
+                        worst, detail.get("status", "pass"), key=lambda v: order[v]
+                    )
         return {
             "status": worst,
             "version": "1",
@@ -838,5 +917,8 @@ class Fabric:
             "window": self._window.snapshot(),
             "watchdog": watchdog,
             "cache": self._cache_telemetry(),
+            "ingest": (
+                self._ingest.ingest_report() if self._ingest is not None else None
+            ),
             "per_worker": per_worker,
         }

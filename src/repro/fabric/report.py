@@ -26,6 +26,7 @@ from repro.obs.prom import prom_header, prom_sample
 from repro.obs.window import percentile
 
 __all__ = [
+    "COMPATIBLE_REPORT_SCHEMAS",
     "FABRIC_REPORT_SCHEMA",
     "fabric_prometheus_text",
     "fabric_report_json",
@@ -35,10 +36,15 @@ __all__ = [
     "scenario_accounting",
 ]
 
-#: Format identifier embedded in every fabric report.
-FABRIC_REPORT_SCHEMA = "repro.fabric_report/v1"
+#: Format identifier embedded in every fabric report.  v2 added the
+#: ``ingest`` section (None unless an ``IngestServer`` is attached).
+FABRIC_REPORT_SCHEMA = "repro.fabric_report/v2"
+
+#: Prior revisions attach-mode tooling still accepts.
+COMPATIBLE_REPORT_SCHEMAS = ("repro.fabric_report/v1", FABRIC_REPORT_SCHEMA)
 
 _PREFIX = "repro_fabric_"
+_INGEST_PREFIX = "repro_ingest_"
 
 
 def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
@@ -186,6 +192,7 @@ def fabric_prometheus_text(report: dict) -> str:
     _render_workers(lines, report.get("per_worker", []))
     _render_cache(lines, report.get("cache"))
     _render_scenarios(lines, report.get("scenarios"))
+    _render_ingest(lines, report.get("ingest"))
     return "\n".join(lines) + "\n"
 
 
@@ -304,6 +311,91 @@ def _render_scenarios(lines: List[str], scenarios) -> None:
         for scenario, bucket in sorted(scenarios.items()):
             lines.append(
                 prom_sample(full, bucket.get(key, 0), {"scenario": scenario})
+            )
+
+
+#: Per-stream ingest counter families: (suffix, report key, HELP).
+_INGEST_STREAM_COUNTERS = (
+    ("received", "received", "Data datagrams received for this stream."),
+    ("bytes", "bytes", "Payload bytes received for this stream."),
+    ("reassembled", "reassembled",
+     "Packets fully reassembled and decoded for this stream."),
+    ("released", "released",
+     "Packets released in sequence order toward the fabric."),
+    ("submitted", "submitted",
+     "Released packets the fabric accepted for this stream."),
+    ("out_of_order", "out_of_order",
+     "Datagrams that arrived behind a later (seq, fragment) key."),
+    ("duplicates", "duplicates",
+     "Duplicate datagrams discarded during reassembly."),
+    ("stale", "stale",
+     "Datagrams for sequences already released or written off."),
+    ("gaps", "gaps",
+     "Sequence numbers declared lost with no datagram ever seen."),
+    ("resets", "resets",
+     "Stream state resets caused by a session nonce change."),
+)
+
+#: ``repro_ingest_dropped{stream,reason}``: every way a *seen* packet
+#: can fail to reach a worker, by typed reason.
+_INGEST_DROP_REASONS = (
+    ("incomplete", "incomplete"),  # lost a fragment inside the window
+    ("corrupt", "corrupt"),
+    ("shed_overflow", "overflow"),
+    ("shed_dropped", "backpressure_dropped"),
+    ("shed_rejected", "backpressure_rejected"),
+)
+
+
+def _render_ingest(lines: List[str], ingest) -> None:
+    """The ``repro_ingest_*`` families (attached ``IngestServer`` only)."""
+    if not ingest:
+        return
+    full = _INGEST_PREFIX + "listener_alive"
+    lines.extend(prom_header(
+        full, "gauge", "1 while the ingest listener thread serves its sockets."
+    ))
+    lines.append(prom_sample(full, 1 if ingest.get("listening") else 0))
+    full = _INGEST_PREFIX + "datagrams"
+    lines.extend(prom_header(
+        full, "counter", "Datagrams the listener pulled off its sockets."
+    ))
+    lines.append(prom_sample(full, ingest.get("datagrams", 0)))
+    full = _INGEST_PREFIX + "staged"
+    lines.extend(prom_header(
+        full, "gauge",
+        "Reassembled packets staged, awaiting submission into the fabric.",
+    ))
+    lines.append(prom_sample(full, ingest.get("staged", 0)))
+    malformed = ingest.get("malformed") or {}
+    if malformed:
+        full = _INGEST_PREFIX + "malformed"
+        lines.extend(prom_header(
+            full, "counter",
+            "Datagrams rejected before stream attribution, by parse failure.",
+        ))
+        for kind, value in sorted(malformed.items()):
+            lines.append(prom_sample(full, value, {"kind": kind}))
+    streams = ingest.get("streams") or {}
+    if not streams:
+        return
+    for suffix, key, help_text in _INGEST_STREAM_COUNTERS:
+        full = _INGEST_PREFIX + suffix
+        lines.extend(prom_header(full, "counter", help_text))
+        for stream_id, view in sorted(streams.items(), key=lambda kv: int(kv[0])):
+            lines.append(prom_sample(full, view.get(key, 0), {"stream": stream_id}))
+    full = _INGEST_PREFIX + "dropped"
+    lines.extend(prom_header(
+        full, "counter",
+        "Packets that never reached a worker, by stream and typed reason "
+        "(fragment loss, corruption, staging overflow, fabric backpressure).",
+    ))
+    for stream_id, view in sorted(streams.items(), key=lambda kv: int(kv[0])):
+        for key, reason in _INGEST_DROP_REASONS:
+            lines.append(
+                prom_sample(
+                    full, view.get(key, 0), {"stream": stream_id, "reason": reason}
+                )
             )
 
 

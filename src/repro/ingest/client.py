@@ -1,0 +1,195 @@
+"""Client side of the ingest protocol: encode, maim (optionally), send.
+
+:func:`send_stream` turns a sequence of rx arrays into wire datagrams
+and pushes them at an :class:`~repro.ingest.server.IngestServer` over
+loopback UDP or TCP.  Tests and the example use its seeded *chaos*
+knobs — datagram-level reordering, drops and duplication — to exercise
+the reassembler's accounting the way a real lossy network would,
+reproducibly.  The returned :class:`SendReport` is the sender-side
+truth the accounting checks compare against.
+
+Chaos applies to data datagrams only; the end-of-stream markers are
+sent last and repeated (they are idempotent), so the receiver can
+almost always account trailing losses precisely.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ingest.protocol import encode_packet, end_marker
+
+__all__ = ["SendReport", "send_datagrams", "send_stream"]
+
+
+@dataclass(frozen=True)
+class SendReport:
+    """What one :func:`send_stream` call actually put on the wire."""
+
+    stream_id: int
+    session: int
+    n_packets: int  # modem packets encoded
+    datagrams: int  # data datagrams produced (pre-chaos, no end markers)
+    sent: int  # data datagrams actually sent
+    dropped: int  # data datagrams chaos discarded
+    duplicated: int  # extra copies chaos injected
+    reordered: int  # datagrams displaced from encode order
+    dropped_seqs: Tuple[int, ...]  # seqs missing at least one datagram
+
+    @property
+    def intact_seqs(self) -> Tuple[int, ...]:
+        """Seqs whose every datagram was sent at least once."""
+        lost = set(self.dropped_seqs)
+        return tuple(s for s in range(self.n_packets) if s not in lost)
+
+
+def _apply_chaos(
+    tagged: List[Tuple[int, bytes]],
+    rng: np.random.Generator,
+    reorder: float,
+    drop: float,
+    duplicate: float,
+) -> Tuple[List[Tuple[int, bytes]], int, int, int]:
+    """Drop/duplicate/displace ``(seq, datagram)`` pairs, seeded."""
+    kept: List[Tuple[int, bytes]] = []
+    dropped = duplicated = 0
+    for item in tagged:
+        if drop > 0 and rng.random() < drop:
+            dropped += 1
+            continue
+        kept.append(item)
+        if duplicate > 0 and rng.random() < duplicate:
+            kept.append(item)
+            duplicated += 1
+    reordered = 0
+    keys = []
+    for idx in range(len(kept)):
+        key = float(idx)
+        if reorder > 0 and rng.random() < reorder:
+            # Push the datagram a few slots into the future — the shape
+            # of switch-fabric reordering, and enough to cross packet
+            # boundaries at typical fragment counts.
+            key += float(rng.integers(1, 16)) + 0.5
+            reordered += 1
+        keys.append(key)
+    order = np.argsort(np.asarray(keys), kind="stable")
+    shuffled = [kept[i] for i in order]
+    return shuffled, dropped, duplicated, reordered
+
+
+def send_datagrams(
+    datagrams: Sequence[bytes],
+    udp: Optional[Tuple[str, int]] = None,
+    tcp: Optional[Tuple[str, int]] = None,
+    pace_every: int = 64,
+    pace_s: float = 0.001,
+) -> int:
+    """Send raw datagrams over one transport; returns how many went out.
+
+    UDP sends each as a datagram; TCP opens one connection and frames
+    each as ``<u32 little-endian length><bytes>``.  *pace_every* /
+    *pace_s* insert short sleeps so loopback bursts don't outrun the
+    receiver's kernel buffer.
+    """
+    if (udp is None) == (tcp is None):
+        raise ValueError("pass exactly one of udp=(host, port) or tcp=(host, port)")
+    sent = 0
+    if udp is not None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            for data in datagrams:
+                sock.sendto(data, udp)
+                sent += 1
+                if pace_every and sent % pace_every == 0:
+                    time.sleep(pace_s)
+        finally:
+            sock.close()
+        return sent
+    sock = socket.create_connection(tcp, timeout=10)
+    try:
+        for data in datagrams:
+            sock.sendall(struct.pack("<I", len(data)) + data)
+            sent += 1
+    finally:
+        sock.close()
+    return sent
+
+
+def send_stream(
+    waveforms: Sequence[np.ndarray],
+    udp: Optional[Tuple[str, int]] = None,
+    tcp: Optional[Tuple[str, int]] = None,
+    stream_id: int = 1,
+    session: Optional[int] = None,
+    n_symbols: int = 2,
+    dtype: "int | str" = "c64",
+    max_payload: int = 1408,
+    reorder: float = 0.0,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    seed: int = 0,
+    end_markers: int = 3,
+    pace_every: int = 64,
+    pace_s: float = 0.001,
+) -> SendReport:
+    """Encode *waveforms* as one stream and send it, with optional chaos.
+
+    Each waveform is an ``(n_ant, n_samples)`` complex array (1-D is
+    treated as one antenna); sequence numbers are assigned in order
+    starting at 0.  *session* defaults to a random nonce so a restarted
+    sender never collides with its previous epoch.  *reorder*, *drop*
+    and *duplicate* are per-datagram probabilities driven by *seed*.
+    """
+    if session is None:
+        session = int.from_bytes(os.urandom(4), "little")
+    tagged: List[Tuple[int, bytes]] = []
+    seq_frag_counts = {}
+    for seq, rx in enumerate(waveforms):
+        frames = encode_packet(
+            stream_id,
+            seq,
+            rx,
+            n_symbols=n_symbols,
+            dtype=dtype,
+            session=session,
+            max_payload=max_payload,
+        )
+        seq_frag_counts[seq] = len(frames)
+        tagged.extend((seq, frame) for frame in frames)
+    n_packets = len(seq_frag_counts)
+    rng = np.random.default_rng(seed)
+    shuffled, dropped, duplicated, reordered = _apply_chaos(
+        tagged, rng, reorder, drop, duplicate
+    )
+    # Duplicates can mask a same-seq drop; count *distinct* frames sent.
+    distinct: dict = {}
+    for seq, frame in shuffled:
+        distinct.setdefault(seq, set()).add(frame)
+    dropped_seqs = tuple(
+        seq
+        for seq in sorted(seq_frag_counts)
+        if len(distinct.get(seq, ())) < seq_frag_counts[seq]
+    )
+    wire = [frame for _, frame in shuffled]
+    wire.extend(end_marker(stream_id, n_packets, session) for _ in range(end_markers))
+    sent = send_datagrams(
+        wire, udp=udp, tcp=tcp, pace_every=pace_every, pace_s=pace_s
+    )
+    return SendReport(
+        stream_id=stream_id,
+        session=session,
+        n_packets=n_packets,
+        datagrams=len(tagged),
+        sent=sent - end_markers,
+        dropped=dropped,
+        duplicated=duplicated,
+        reordered=reordered,
+        dropped_seqs=dropped_seqs,
+    )

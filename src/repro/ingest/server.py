@@ -1,0 +1,478 @@
+"""`IngestServer`: sockets in, fabric submissions out, everything counted.
+
+The serving pipeline has three stages with distinct threading rules:
+
+1. **Listener thread** (owned by this class): a `selectors` loop over
+   one UDP socket and/or one TCP listener.  UDP datagrams and TCP
+   length-prefixed frames carry identical bytes; both are fed to the
+   :class:`~repro.ingest.reassembly.Reassembler` under the server lock
+   and completed packets are *staged* in bounded per-stream buffers.
+   The listener never touches the fabric's task queues — the fabric's
+   pump is single-threaded by design.
+2. **Owner thread** (whoever owns the fabric): calls :meth:`poll` /
+   :meth:`drain`, which move staged packets into
+   :meth:`Fabric.offer` — inheriting the fabric's configured
+   backpressure mode — and pump completions.  ``block`` mode absorbs
+   bursts by pumping inside ``offer``; ``drop``/``deadline`` modes shed
+   with typed reasons this layer records per stream.
+3. **Scrape threads** (:class:`~repro.obs.server.ObsServer`): read-only
+   snapshots via :meth:`ingest_report` / :meth:`health_checks`, taken
+   under the same lock the listener mutates under.
+
+Exactly-once accounting invariant, per stream: every sequence number
+the sender produced ends in exactly one of ``released →
+{submitted, shed_overflow, shed_dropped, shed_rejected}`` or ``lost →
+{gaps, incomplete}`` (plus ``corrupt``); :meth:`accounting_problems`
+checks it against a sender's packet count and backs the CI
+``ingest-smoke`` gate's "zero unaccounted packets" assertion.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.ingest.reassembly import ReassembledPacket, Reassembler
+
+__all__ = ["IngestError", "IngestServer", "SHED_COUNTERS"]
+
+#: Per-stream shed counters (submission stage), by typed reason.
+SHED_COUNTERS = ("shed_overflow", "shed_dropped", "shed_rejected")
+
+#: TCP frames above this are a protocol violation (drops the client).
+_MAX_FRAME = 1 << 20
+
+#: Kernel receive buffer requested for the UDP socket: loopback tests
+#: blast thousands of datagrams faster than the listener thread wakes.
+_UDP_RCVBUF = 1 << 22
+
+
+class IngestError(RuntimeError):
+    """Ingest-layer failures (lifecycle misuse, drain timeout)."""
+
+
+class IngestServer:
+    """Network front-end feeding packetized IQ streams into a fabric.
+
+    Parameters
+    ----------
+    fabric:
+        A started (or about-to-start) :class:`~repro.fabric.Fabric`.
+        The server attaches itself so ``fabric.report()`` gains the
+        ``ingest`` section and ``/healthz`` the listener check.
+    udp_port / tcp_port:
+        Listen ports (0 = ephemeral; ``None`` disables that transport).
+        At least one transport must be enabled.
+    window:
+        Reassembly reorder window (packets), per stream.
+    stream_buffer:
+        Completed packets staged per stream awaiting :meth:`poll`;
+        overflow sheds the *newest* packet with ``shed_overflow``
+        accounting (the socket thread must never block).
+    """
+
+    def __init__(
+        self,
+        fabric,
+        host: str = "127.0.0.1",
+        udp_port: Optional[int] = 0,
+        tcp_port: Optional[int] = None,
+        window: int = 64,
+        stream_buffer: int = 256,
+        name: str = "ingest",
+    ) -> None:
+        if udp_port is None and tcp_port is None:
+            raise ValueError("enable at least one transport (udp_port/tcp_port)")
+        if stream_buffer < 1:
+            raise ValueError("stream_buffer must be >= 1, got %d" % stream_buffer)
+        self.fabric = fabric
+        self.host = host
+        self.name = name
+        self.stream_buffer = int(stream_buffer)
+        self._udp_requested = udp_port
+        self._tcp_requested = tcp_port
+        self._reassembler = Reassembler(window=window)
+        self._lock = threading.Lock()
+        self._staged: Deque[ReassembledPacket] = deque()
+        self._staged_per_stream: Dict[int, int] = {}
+        self._shed: Dict[int, Dict[str, int]] = {}
+        self._submitted: Dict[int, int] = {}
+        self._task_ids: Dict[Tuple[int, int], int] = {}
+        self._datagrams = 0
+        self._tcp_conns = 0
+        self._tcp_violations = 0
+        self._udp_sock: Optional[socket.socket] = None
+        self._tcp_sock: Optional[socket.socket] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+        fabric.attach_ingest(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "IngestServer":
+        if self._started:
+            raise IngestError("ingest server already started")
+        if self._closed:
+            raise IngestError("ingest server already stopped")
+        self._selector = selectors.DefaultSelector()
+        if self._udp_requested is not None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, _UDP_RCVBUF)
+            sock.bind((self.host, self._udp_requested))
+            sock.setblocking(False)
+            self._selector.register(sock, selectors.EVENT_READ, ("udp", None))
+            self._udp_sock = sock
+        if self._tcp_requested is not None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.host, self._tcp_requested))
+            sock.listen(16)
+            sock.setblocking(False)
+            self._selector.register(sock, selectors.EVENT_READ, ("accept", None))
+            self._tcp_sock = sock
+        self._thread = threading.Thread(
+            target=self._listen_loop, name="%s-listener" % self.name, daemon=True
+        )
+        self._started = True
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop listening (idempotent).  Staged packets stay pollable."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        if self._selector is not None:
+            for key in list(self._selector.get_map().values()):
+                try:
+                    self._selector.unregister(key.fileobj)
+                    key.fileobj.close()
+                except (KeyError, OSError):
+                    pass
+            self._selector.close()
+        self._udp_sock = None
+        self._tcp_sock = None
+        self._closed = True
+
+    def __enter__(self) -> "IngestServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def udp_address(self) -> Optional[Tuple[str, int]]:
+        """The bound UDP ``(host, port)``; None when UDP is disabled."""
+        return self._udp_sock.getsockname() if self._udp_sock is not None else None
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        """The bound TCP ``(host, port)``; None when TCP is disabled."""
+        return self._tcp_sock.getsockname() if self._tcp_sock is not None else None
+
+    @property
+    def listening(self) -> bool:
+        """True while the listener thread is serving its sockets."""
+        return (
+            self._started
+            and not self._closed
+            and self._thread is not None
+            and self._thread.is_alive()
+        )
+
+    # ------------------------------------------------------------------
+    # Listener thread: sockets -> reassembler -> staging.
+    # ------------------------------------------------------------------
+
+    def _listen_loop(self) -> None:
+        buffers: Dict[socket.socket, bytearray] = {}
+        while not self._stop.is_set():
+            events = self._selector.select(timeout=0.1)
+            for key, _ in events:
+                kind, _ = key.data
+                if kind == "udp":
+                    self._drain_udp(key.fileobj)
+                elif kind == "accept":
+                    self._accept_tcp(key.fileobj, buffers)
+                else:
+                    self._read_tcp(key.fileobj, buffers)
+
+    def _drain_udp(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                data, _ = sock.recvfrom(65536)
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            self._ingest_datagram(data)
+
+    def _accept_tcp(self, listener: socket.socket, buffers: dict) -> None:
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return
+        conn.setblocking(False)
+        buffers[conn] = bytearray()
+        self._selector.register(conn, selectors.EVENT_READ, ("tcp", None))
+        with self._lock:
+            self._tcp_conns += 1
+
+    def _drop_tcp(self, conn: socket.socket, buffers: dict) -> None:
+        try:
+            self._selector.unregister(conn)
+        except KeyError:
+            pass
+        buffers.pop(conn, None)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _read_tcp(self, conn: socket.socket, buffers: dict) -> None:
+        try:
+            data = conn.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._drop_tcp(conn, buffers)
+            return
+        if not data:
+            self._drop_tcp(conn, buffers)
+            return
+        buf = buffers[conn]
+        buf.extend(data)
+        while len(buf) >= 4:
+            (frame_len,) = struct.unpack_from("<I", buf)
+            if frame_len > _MAX_FRAME:
+                with self._lock:
+                    self._tcp_violations += 1
+                self._drop_tcp(conn, buffers)
+                return
+            if len(buf) < 4 + frame_len:
+                break
+            frame = bytes(buf[4 : 4 + frame_len])
+            del buf[: 4 + frame_len]
+            self._ingest_datagram(frame)
+
+    def _ingest_datagram(self, data: bytes) -> None:
+        with self._lock:
+            self._datagrams += 1
+            completed = self._reassembler.offer(data)
+            for packet in completed:
+                count = self._staged_per_stream.get(packet.stream_id, 0)
+                if count >= self.stream_buffer:
+                    self._shed_locked(packet.stream_id, "shed_overflow")
+                    continue
+                self._staged_per_stream[packet.stream_id] = count + 1
+                self._staged.append(packet)
+        # Rolling-window wiring: thread-safe counters on the fabric side.
+        self.fabric.ingest_event("ingest_datagrams")
+        if completed:
+            self.fabric.ingest_event("ingest_packets", len(completed))
+
+    def _shed_locked(self, stream_id: int, reason: str) -> None:
+        shed = self._shed.setdefault(
+            stream_id, {name: 0 for name in SHED_COUNTERS}
+        )
+        shed[reason] += 1
+
+    # ------------------------------------------------------------------
+    # Owner thread: staging -> fabric.
+    # ------------------------------------------------------------------
+
+    def poll(self, timeout: float = 0.0) -> int:
+        """Submit staged packets into the fabric and pump it once.
+
+        Must be called from the fabric-owning thread (the fabric's pump
+        is single-threaded).  Returns how many packets were accepted
+        this call; shed packets are accounted per stream by their typed
+        :class:`~repro.fabric.SubmitOutcome` reason.
+        """
+        accepted = 0
+        while True:
+            with self._lock:
+                if not self._staged:
+                    break
+                packet = self._staged.popleft()
+                self._staged_per_stream[packet.stream_id] -= 1
+            outcome = self.fabric.offer(packet.rx, n_symbols=packet.n_symbols)
+            with self._lock:
+                if outcome.accepted:
+                    accepted += 1
+                    self._submitted[packet.stream_id] = (
+                        self._submitted.get(packet.stream_id, 0) + 1
+                    )
+                    self._task_ids[(packet.stream_id, packet.seq)] = outcome.task_id
+                else:
+                    self._shed_locked(packet.stream_id, "shed_" + outcome.reason)
+                    self.fabric.ingest_event("ingest_shed")
+        self.fabric.poll(timeout)
+        return accepted
+
+    def drain(
+        self, idle_s: float = 0.3, timeout: Optional[float] = 60.0
+    ) -> Dict[int, object]:
+        """Wait for the wire to go quiet, flush, and drain the fabric.
+
+        "Quiet" means no datagram arrived for *idle_s* seconds and
+        nothing is staged; then the reassembler is flushed (declaring
+        trailing losses, guided by end-of-stream markers when the
+        sender sent them), the flushed packets are submitted, and the
+        fabric drains.  Returns ``fabric.results()``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_count = -1
+        quiet_since = time.monotonic()
+        while True:
+            self.poll(0.02)
+            with self._lock:
+                count = self._datagrams
+                staged = len(self._staged)
+            now = time.monotonic()
+            if count != last_count or staged:
+                last_count = count
+                quiet_since = now
+            elif now - quiet_since >= idle_s:
+                break
+            if deadline is not None and now > deadline:
+                raise IngestError(
+                    "ingest drain timed out (%d datagrams, %d staged)"
+                    % (count, staged)
+                )
+        with self._lock:
+            for packet in self._reassembler.flush():
+                self._staged.append(packet)
+                self._staged_per_stream[packet.stream_id] = (
+                    self._staged_per_stream.get(packet.stream_id, 0) + 1
+                )
+        self.poll(0.0)
+        remaining = None if deadline is None else max(0.1, deadline - time.monotonic())
+        self.fabric.drain(timeout=remaining)
+        return self.fabric.results()
+
+    def submissions(self) -> Dict[Tuple[int, int], int]:
+        """``(stream_id, seq) -> fabric task id`` for every accepted packet."""
+        with self._lock:
+            return dict(self._task_ids)
+
+    # ------------------------------------------------------------------
+    # Accounting and observability.
+    # ------------------------------------------------------------------
+
+    def ingest_report(self) -> dict:
+        """The ``ingest`` section of ``Fabric.report()`` (thread-safe)."""
+        with self._lock:
+            stats = self._reassembler.stats()
+            streams = {}
+            for stream_id_str, counters in stats["streams"].items():
+                stream_id = int(stream_id_str)
+                view = dict(counters)
+                shed = self._shed.get(
+                    stream_id, {name: 0 for name in SHED_COUNTERS}
+                )
+                view.update(shed)
+                view["submitted"] = self._submitted.get(stream_id, 0)
+                view["staged"] = self._staged_per_stream.get(stream_id, 0)
+                streams[stream_id_str] = view
+            udp = self.udp_address
+            tcp = self.tcp_address
+            return {
+                "name": self.name,
+                "listening": self.listening,
+                "udp_port": udp[1] if udp else None,
+                "tcp_port": tcp[1] if tcp else None,
+                "datagrams": self._datagrams,
+                "staged": len(self._staged),
+                "tcp_connections": self._tcp_conns,
+                "tcp_violations": self._tcp_violations,
+                "malformed": dict(stats["listener"]),
+                "streams": streams,
+            }
+
+    def health_checks(self) -> Dict[str, list]:
+        """The ``ingest:listener`` check merged into ``Fabric.health()``.
+
+        ``pass`` while the listener thread serves its sockets, ``warn``
+        after a clean :meth:`stop` (the fabric still drains staged
+        work), ``fail`` when the thread died with sockets still open.
+        """
+        if not self._started:
+            status = "warn"
+        elif self._closed:
+            status = "warn"
+        elif self.listening:
+            status = "pass"
+        else:
+            status = "fail"
+        udp = self.udp_address
+        tcp = self.tcp_address
+        with self._lock:
+            datagrams = self._datagrams
+            streams = len(self._reassembler.stream_ids())
+        return {
+            "ingest:listener": [
+                {
+                    "componentType": "component",
+                    "status": status,
+                    "observedValue": datagrams,
+                    "observedUnit": "datagrams",
+                    "udpPort": udp[1] if udp else None,
+                    "tcpPort": tcp[1] if tcp else None,
+                    "streams": streams,
+                }
+            ]
+        }
+
+    def accounting_problems(self, sent: Dict[int, int]) -> List[str]:
+        """Check the exactly-once invariant against sender truth.
+
+        *sent* maps stream id → packets the sender produced.  Every one
+        must land in exactly one bucket: released (then submitted or
+        shed) or declared lost (gap/incomplete) or corrupt — with
+        nothing still buffered.  Returns human-readable violations
+        (empty list = fully accounted).
+        """
+        problems: List[str] = []
+        report = self.ingest_report()
+        for stream_id, n_sent in sorted(sent.items()):
+            view = report["streams"].get(str(stream_id))
+            if view is None:
+                if n_sent:
+                    problems.append("stream %d: never seen by the listener" % stream_id)
+                continue
+            released = view["released"]
+            lost = view["gaps"] + view["incomplete"] + view["corrupt"]
+            buffered = view["pending"] + view["ready"] + view["staged"]
+            if buffered:
+                problems.append(
+                    "stream %d: %d packets still buffered" % (stream_id, buffered)
+                )
+            if released + lost != n_sent:
+                problems.append(
+                    "stream %d: sent %d != released %d + lost %d"
+                    % (stream_id, n_sent, released, lost)
+                )
+            submitted = view["submitted"]
+            shed = sum(view[name] for name in SHED_COUNTERS)
+            if submitted + shed != released:
+                problems.append(
+                    "stream %d: released %d != submitted %d + shed %d"
+                    % (stream_id, released, submitted, shed)
+                )
+        return problems

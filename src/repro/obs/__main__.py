@@ -23,7 +23,7 @@ import json
 import os
 import time
 
-from repro.fabric.report import FABRIC_REPORT_SCHEMA, fabric_prometheus_text
+from repro.fabric.report import COMPATIBLE_REPORT_SCHEMAS, fabric_prometheus_text
 from repro.obs.server import ObsServer
 
 
@@ -34,7 +34,7 @@ def _load(path: str) -> dict:
 
 def _metrics_for(report: dict) -> str:
     """Render whatever report dict the file holds as exposition text."""
-    if report.get("schema") == FABRIC_REPORT_SCHEMA:
+    if report.get("schema") in COMPATIBLE_REPORT_SCHEMAS:
         return fabric_prometheus_text(report)
     # Generic fallback: flat numeric counters under a neutral prefix.
     from repro.obs.prom import prom_header, prom_sample

@@ -165,7 +165,10 @@ class WindowedSeries:
         return window_summary(self.values())
 
 
-#: Fabric events the rolling window counts (all are fabric counters too).
+#: Fabric events the rolling window counts.  The first block mirrors
+#: fabric lifetime counters; the ``ingest_*`` kinds are recorded by an
+#: attached :class:`~repro.ingest.server.IngestServer` (datagrams seen,
+#: packets reassembled, packets shed at submission).
 WINDOW_COUNTS = (
     "submitted",
     "completed",
@@ -175,6 +178,9 @@ WINDOW_COUNTS = (
     "task_errors",
     "worker_crashes",
     "watchdog_flags",
+    "ingest_datagrams",
+    "ingest_packets",
+    "ingest_shed",
 )
 
 

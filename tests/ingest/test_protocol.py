@@ -1,0 +1,147 @@
+"""Wire-format unit tests: header round trips, codecs, typed rejection."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.ingest import (
+    DTYPES,
+    HEADER_SIZE,
+    MAGIC,
+    BadMagic,
+    CorruptHeader,
+    TruncatedDatagram,
+    VersionMismatch,
+    decode_payload,
+    encode_packet,
+    encode_payload,
+    end_marker,
+    iq_roundtrip,
+    parse_datagram,
+    payload_nbytes,
+)
+
+
+def _rx(n_ant=2, n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((n_ant, n)) + 1j * rng.standard_normal((n_ant, n))) / 4
+
+
+def test_header_fields_round_trip():
+    frames = encode_packet(9, 3, _rx(), n_symbols=4, dtype="q15", session=77)
+    header, payload = parse_datagram(frames[0])
+    assert header.stream_id == 9
+    assert header.session == 77
+    assert header.seq == 3
+    assert header.n_symbols == 4
+    assert header.n_ant == 2
+    assert header.n_samples == 300
+    assert header.dtype == DTYPES["q15"]
+    assert header.dtype_name == "q15"
+    assert header.frag_index == 0
+    assert header.frag_count == len(frames)
+    assert not header.is_end
+    assert header.payload_len == len(payload)
+
+
+@pytest.mark.parametrize("dtype", ["q15", "c64", "c128"])
+def test_codec_round_trip_is_idempotent(dtype):
+    rx = _rx()
+    once = iq_roundtrip(rx, dtype)
+    twice = iq_roundtrip(once, dtype)
+    np.testing.assert_array_equal(once, twice)
+    blob = encode_payload(rx, dtype)
+    assert len(blob) == payload_nbytes(dtype, 2, 300)
+    np.testing.assert_array_equal(decode_payload(blob, dtype, 2, 300), once)
+
+
+def test_c128_round_trip_is_exact():
+    rx = _rx()
+    np.testing.assert_array_equal(iq_roundtrip(rx, "c128"), rx)
+
+
+def test_fragmentation_covers_payload_uniformly():
+    rx = _rx(n=701)  # c64: 2*701*8 = 11216 bytes
+    frames = encode_packet(1, 0, rx, dtype="c64", max_payload=1408)
+    assert len(frames) == -(-11216 // 1408)
+    payloads = [parse_datagram(f)[1] for f in frames]
+    assert all(len(p) == 1408 for p in payloads[:-1])
+    assert b"".join(payloads) == encode_payload(rx, "c64")
+
+
+def test_reassembled_fragments_decode_exactly():
+    rx = _rx(n=701)
+    frames = encode_packet(1, 0, rx, dtype="c64", max_payload=333)
+    blob = b"".join(parse_datagram(f)[1] for f in frames)
+    np.testing.assert_array_equal(
+        decode_payload(blob, "c64", 2, 701), iq_roundtrip(rx, "c64")
+    )
+
+
+def test_end_marker_parses_as_control():
+    header, payload = parse_datagram(end_marker(5, 42, session=3))
+    assert header.is_end
+    assert header.stream_id == 5
+    assert header.seq == 42  # carries the packet count
+    assert header.session == 3
+    assert payload == b""
+
+
+def test_truncated_and_garbage_datagrams_raise_typed():
+    frame = encode_packet(1, 0, _rx())[0]
+    with pytest.raises(TruncatedDatagram):
+        parse_datagram(frame[: HEADER_SIZE - 1])  # short header, good magic
+    with pytest.raises(TruncatedDatagram):
+        parse_datagram(frame[:-1])  # payload shorter than declared
+    with pytest.raises(BadMagic):
+        parse_datagram(b"not the protocol at all")
+    with pytest.raises(BadMagic):
+        parse_datagram(b"\x00" * HEADER_SIZE)
+    with pytest.raises(TruncatedDatagram):
+        parse_datagram(b"")
+
+
+def test_version_mismatch_is_typed_with_fields():
+    frame = bytearray(encode_packet(1, 0, _rx())[0])
+    struct.pack_into("<H", frame, 4, 9)  # version field
+    with pytest.raises(VersionMismatch) as exc:
+        parse_datagram(bytes(frame))
+    assert exc.value.got == 9
+    assert exc.value.want == 1
+
+
+def test_corrupt_header_fields_raise_typed():
+    good = encode_packet(1, 0, _rx())[0]
+    # Unknown dtype code.
+    frame = bytearray(good)
+    struct.pack_into("<B", frame, 6, 250)
+    with pytest.raises(CorruptHeader):
+        parse_datagram(bytes(frame))
+    # frag_index >= frag_count.
+    frame = bytearray(good)
+    struct.pack_into("<H", frame, 26, 99)
+    with pytest.raises(CorruptHeader):
+        parse_datagram(bytes(frame))
+    # Trailing junk beyond the declared payload.
+    with pytest.raises(CorruptHeader):
+        parse_datagram(good + b"junk")
+    # End marker carrying a payload.
+    frame = bytearray(good)
+    struct.pack_into("<H", frame, 30, 1)  # flags |= FLAG_END
+    with pytest.raises(CorruptHeader):
+        parse_datagram(bytes(frame))
+
+
+def test_encode_packet_validates_inputs():
+    with pytest.raises(ValueError, match="n_ant"):
+        encode_packet(1, 0, _rx(n_ant=9, n=8))
+    with pytest.raises(ValueError, match="dtype"):
+        encode_packet(1, 0, _rx(), dtype="f32")
+    with pytest.raises(ValueError, match="max_payload"):
+        encode_packet(1, 0, _rx(), max_payload=0)
+
+
+def test_magic_is_the_documented_constant():
+    assert MAGIC == 0x51493135
+    assert encode_packet(1, 0, _rx())[0][:4] == struct.pack("<I", MAGIC)

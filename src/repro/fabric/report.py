@@ -376,6 +376,15 @@ def _render_ingest(lines: List[str], ingest) -> None:
         ))
         for kind, value in sorted(malformed.items()):
             lines.append(prom_sample(full, value, {"kind": kind}))
+    evicted = ingest.get("evicted") or {}
+    if evicted.get("streams"):
+        full = _INGEST_PREFIX + "evicted_streams"
+        lines.extend(prom_header(
+            full, "counter",
+            "Streams evicted under stream-id churn; their lifetime "
+            "counters are folded into the report's aggregate bucket.",
+        ))
+        lines.append(prom_sample(full, evicted["streams"]))
     streams = ingest.get("streams") or {}
     if not streams:
         return

@@ -30,6 +30,7 @@ from repro.ingest.protocol import (
     FLAG_END,
     HEADER_SIZE,
     MAGIC,
+    MAX_PACKET_NBYTES,
     VERSION,
     BadMagic,
     CorruptHeader,
@@ -64,6 +65,7 @@ __all__ = [
     "IngestServer",
     "LISTENER_COUNTERS",
     "MAGIC",
+    "MAX_PACKET_NBYTES",
     "ProtocolError",
     "ReassembledPacket",
     "Reassembler",

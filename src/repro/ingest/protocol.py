@@ -59,6 +59,7 @@ __all__ = [
     "HEADER_SIZE",
     "Header",
     "MAGIC",
+    "MAX_PACKET_NBYTES",
     "ProtocolError",
     "BadMagic",
     "CorruptHeader",
@@ -92,6 +93,13 @@ _ITEMSIZE = {1: 4, 2: 8, 3: 16}
 
 #: Flags bit 0: end-of-stream control datagram (``seq`` = packet count).
 FLAG_END = 0x0001
+
+#: Hard bound on one packet's payload (64 MiB).  ``n_samples`` is a
+#: u32, so without a cap a single forged header could promise a
+#: ~512 GiB packet and the receiver would buffer fragments toward it;
+#: with the cap, any datagram claiming more is rejected at parse time
+#: before a byte is buffered.  Enforced symmetrically by the encoder.
+MAX_PACKET_NBYTES = 1 << 26
 
 _MAX_ANTENNAS = 8
 
@@ -288,6 +296,11 @@ def encode_packet(
     if not 1 <= n_ant <= _MAX_ANTENNAS:
         raise ValueError("n_ant must be 1..%d, got %d" % (_MAX_ANTENNAS, n_ant))
     payload = encode_payload(rx, code)
+    if len(payload) > MAX_PACKET_NBYTES:
+        raise ValueError(
+            "packet payload of %d bytes exceeds the %d-byte protocol cap"
+            % (len(payload), MAX_PACKET_NBYTES)
+        )
     frag_count = max(1, -(-len(payload) // max_payload))
     if frag_count > 0xFFFF:
         raise ValueError("packet needs %d fragments (> 65535)" % frag_count)
@@ -373,6 +386,16 @@ def parse_datagram(data: bytes) -> Tuple[Header, bytes]:
         )
     if n_samples < 1:
         raise CorruptHeader("n_samples must be >= 1, got %d" % n_samples)
+    if header.packet_nbytes > MAX_PACKET_NBYTES:
+        raise CorruptHeader(
+            "packet claims %d payload bytes, cap is %d"
+            % (header.packet_nbytes, MAX_PACKET_NBYTES)
+        )
+    if frag_count > header.packet_nbytes:
+        raise CorruptHeader(
+            "frag_count %d exceeds the packet's %d payload bytes"
+            % (frag_count, header.packet_nbytes)
+        )
     return header, payload
 
 

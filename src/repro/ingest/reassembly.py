@@ -21,7 +21,11 @@ translation:
   new traffic drowning as "stale duplicates" of the old epoch;
 - every datagram lands in exactly one counter.  Malformed traffic that
   cannot be attributed to a stream (bad magic, truncation, wrong
-  version, corrupt fields) is accounted on the listener level.
+  version, corrupt fields) is accounted on the listener level.  A
+  sequence written off as ``corrupt`` is tombstoned so the later window
+  advance never recounts it as a gap, and a stream evicted under
+  stream-id churn has its settled lifetime counters folded into the
+  aggregate ``evicted`` bucket instead of being lost.
 
 The class is single-threaded on purpose (the listener serialises calls
 with its own lock); it does no I/O and no fabric calls, so every edge
@@ -31,7 +35,7 @@ case is unit-testable with bytes in, packets out.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -102,6 +106,11 @@ class _Stream:
         self.end_seq: Optional[int] = None
         self.pending: Dict[int, _Partial] = {}
         self.ready: Dict[int, ReassembledPacket] = {}
+        #: Sequences already written off as ``corrupt``: tombstones keep
+        #: the window advance from recounting them as gaps, and late
+        #: fragments for them from resurrecting a _Partial.  A seq is in
+        #: at most one of pending/ready/corrupt_seqs at any time.
+        self.corrupt_seqs: Set[int] = set()
         self.last_key: Optional[Tuple[int, int]] = None  # (seq, frag) arrival order
         self.counters = {name: 0 for name in STREAM_COUNTERS}
 
@@ -126,6 +135,11 @@ class Reassembler:
         self.max_streams = int(max_streams)
         self._streams: Dict[int, _Stream] = {}
         self.listener = {name: 0 for name in LISTENER_COUNTERS}
+        #: Lifetime counters of streams evicted under stream-id churn,
+        #: folded into one aggregate so their accounting is never lost;
+        #: ``streams`` counts the evictions themselves.
+        self.evicted = {name: 0 for name in STREAM_COUNTERS}
+        self.evicted["streams"] = 0
 
     # ------------------------------------------------------------------
     # Intake.
@@ -178,12 +192,14 @@ class Reassembler:
                     key=lambda sid: len(self._streams[sid].pending)
                     + len(self._streams[sid].ready),
                 )
-                del self._streams[victim]
+                self._evict(victim)
             stream = _Stream(header.session)
             self._streams[header.stream_id] = stream
         elif stream.session != header.session:
             # A restarted sender (or a colliding one) on a known stream
-            # id: drop the old epoch's state, keep lifetime counters.
+            # id: write off the old epoch's outstanding state (those
+            # packets can never complete now), keep lifetime counters.
+            self._settle(stream)
             fresh = _Stream(header.session)
             fresh.counters = stream.counters
             fresh.counters["resets"] += 1
@@ -191,10 +207,54 @@ class Reassembler:
             self._streams[header.stream_id] = stream
         return stream
 
+    def _settle(self, stream: _Stream) -> None:
+        """Write off everything a stream still owes, without releasing.
+
+        Buffered packets — reassembled-but-unreleased and partial alike
+        — count ``incomplete`` (seen but never delivered), never-seen
+        holes up to ``max_seen``/the end marker count ``gaps``, corrupt
+        tombstones were already counted.  Keeps the exactly-once ledger
+        conserved when a stream's state is torn down mid-flight.
+        """
+        limit = stream.max_seen + 1
+        if stream.end_seq is not None:
+            limit = max(limit, stream.end_seq)
+        if limit <= stream.next_seq:
+            return
+        buffered = len(stream.ready) + len(stream.pending)
+        stream.counters["incomplete"] += buffered
+        stream.counters["gaps"] += (
+            limit - stream.next_seq - buffered - len(stream.corrupt_seqs)
+        )
+        stream.ready.clear()
+        stream.pending.clear()
+        stream.corrupt_seqs.clear()
+        stream.next_seq = limit
+
+    def _evict(self, stream_id: int) -> None:
+        """Drop a stream, folding its settled counters into ``evicted``."""
+        victim = self._streams.pop(stream_id)
+        self._settle(victim)
+        for name, value in victim.counters.items():
+            self.evicted[name] += value
+        self.evicted["streams"] += 1
+
+    def _poison(self, stream: _Stream, seq: int) -> None:
+        """Write one seq off as corrupt, exactly once, and tombstone it."""
+        stream.counters["corrupt"] += 1
+        stream.pending.pop(seq, None)
+        stream.corrupt_seqs.add(seq)
+
     def _add_fragment(self, stream: _Stream, header: Header, payload: bytes) -> None:
         counters = stream.counters
         if header.seq in stream.ready:
             counters["duplicates"] += 1
+            return
+        if header.seq in stream.corrupt_seqs:
+            # Already written off as corrupt: late traffic for a settled
+            # sequence, and it must not resurrect a _Partial (that would
+            # count the seq a second time, as incomplete).
+            counters["stale"] += 1
             return
         partial = stream.pending.get(header.seq)
         if partial is None:
@@ -208,8 +268,7 @@ class Reassembler:
         ):
             # Same (stream, session, seq) with a different geometry:
             # someone is lying; drop the whole packet once.
-            counters["corrupt"] += 1
-            del stream.pending[header.seq]
+            self._poison(stream, header.seq)
             return
         if header.frag_index in partial.chunks:
             counters["duplicates"] += 1
@@ -217,18 +276,37 @@ class Reassembler:
         # Uniform fragmentation: a single-fragment packet carries the
         # whole payload, and every non-last fragment shares one chunk
         # size (learned from the first one seen — the sender's MTU is
-        # not assumed).  A wrong *total* is caught at decode time.
+        # not assumed).  Each fragment's length is checked against the
+        # claimed packet size *before* it is buffered, so a lying
+        # frag_count/n_samples cannot make the receiver hoard bytes:
+        # frag_count chunks of chunk_len (last short, non-empty) must
+        # tile packet_nbytes, which parse_datagram already capped.
+        last = ref.frag_count - 1
         if ref.frag_count == 1:
             if len(payload) != ref.packet_nbytes:
-                counters["corrupt"] += 1
-                del stream.pending[header.seq]
+                self._poison(stream, header.seq)
                 return
-        elif header.frag_index < ref.frag_count - 1:
+        elif header.frag_index < last:
             if partial.chunk_len is None:
                 partial.chunk_len = len(payload)
-            if len(payload) != partial.chunk_len or len(payload) == 0:
-                counters["corrupt"] += 1
-                del stream.pending[header.seq]
+            chunk_len = partial.chunk_len
+            if (
+                len(payload) != chunk_len
+                or chunk_len == 0
+                or chunk_len * last >= ref.packet_nbytes
+                or chunk_len * ref.frag_count < ref.packet_nbytes
+            ):
+                self._poison(stream, header.seq)
+                return
+        else:  # the last, possibly short, fragment
+            if partial.chunk_len is not None:
+                if len(payload) != ref.packet_nbytes - partial.chunk_len * last:
+                    self._poison(stream, header.seq)
+                    return
+            # chunk_len unknown (last fragment arrived first): the last
+            # chunk can never exceed ceil(packet_nbytes / frag_count).
+            elif not 0 < len(payload) <= -(-ref.packet_nbytes // ref.frag_count):
+                self._poison(stream, header.seq)
                 return
         partial.chunks[header.frag_index] = payload
         partial.nbytes += len(payload)
@@ -241,6 +319,7 @@ class Reassembler:
             rx = decode_payload(blob, ref.dtype, ref.n_ant, ref.n_samples)
         except ProtocolError:
             counters["corrupt"] += 1
+            stream.corrupt_seqs.add(header.seq)
             return
         counters["reassembled"] += 1
         stream.ready[header.seq] = ReassembledPacket(
@@ -253,25 +332,44 @@ class Reassembler:
     # ------------------------------------------------------------------
 
     def _advance(self, stream: _Stream, floor: int) -> List[ReassembledPacket]:
-        """Release everything below *floor*, declaring holes lost."""
-        out: List[ReassembledPacket] = []
+        """Release everything below *floor*, declaring holes lost.
+
+        All counts are computed arithmetically over the (window-bounded)
+        buffered state — never by iterating sequence numbers — so a
+        forged far-future ``seq`` (a u32 straight off the wire) jumps
+        the window in O(window), not O(2^32): the listener cannot be
+        spun by a single datagram.
+        """
+        if floor <= stream.next_seq:
+            return []
         counters = stream.counters
-        while stream.next_seq < floor:
-            seq = stream.next_seq
-            packet = stream.ready.pop(seq, None)
-            if packet is not None:
-                counters["released"] += 1
-                out.append(packet)
-            elif stream.pending.pop(seq, None) is not None:
-                counters["incomplete"] += 1
-            else:
-                counters["gaps"] += 1
-            stream.next_seq = seq + 1
+        released = sorted(seq for seq in stream.ready if seq < floor)
+        out = [stream.ready.pop(seq) for seq in released]
+        counters["released"] += len(out)
+        incomplete = [seq for seq in stream.pending if seq < floor]
+        for seq in incomplete:
+            del stream.pending[seq]
+        counters["incomplete"] += len(incomplete)
+        tombstones = [seq for seq in stream.corrupt_seqs if seq < floor]
+        stream.corrupt_seqs.difference_update(tombstones)
+        # Every skipped seq lands in exactly one bucket: released,
+        # incomplete, corrupt (counted when poisoned) — or, by
+        # subtraction, a never-seen gap.
+        counters["gaps"] += (
+            floor - stream.next_seq - len(out) - len(incomplete) - len(tombstones)
+        )
+        stream.next_seq = floor
         return out
 
     def _release(self, stream: _Stream) -> List[ReassembledPacket]:
         out: List[ReassembledPacket] = []
         while True:
+            if stream.next_seq in stream.corrupt_seqs:
+                # A poisoned packet never blocks the line: skip it (it
+                # was counted corrupt when poisoned) and keep releasing.
+                stream.corrupt_seqs.discard(stream.next_seq)
+                stream.next_seq += 1
+                continue
             packet = stream.ready.pop(stream.next_seq, None)
             if packet is None:
                 break
@@ -316,7 +414,8 @@ class Reassembler:
         return len(stream.pending) + len(stream.ready)
 
     def stats(self) -> Dict[str, dict]:
-        """Counter snapshot: ``{"listener": {...}, "streams": {id: {...}}}``."""
+        """Counter snapshot:
+        ``{"listener": {...}, "streams": {id: {...}}, "evicted": {...}}``."""
         streams = {}
         for stream_id, stream in sorted(self._streams.items()):
             view = dict(stream.counters)
@@ -325,4 +424,8 @@ class Reassembler:
             view["next_seq"] = stream.next_seq
             view["session"] = stream.session
             streams[str(stream_id)] = view
-        return {"listener": dict(self.listener), "streams": streams}
+        return {
+            "listener": dict(self.listener),
+            "streams": streams,
+            "evicted": dict(self.evicted),
+        }

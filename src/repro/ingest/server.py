@@ -34,7 +34,7 @@ import socket
 import struct
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.ingest.reassembly import ReassembledPacket, Reassembler
@@ -74,6 +74,11 @@ class IngestServer:
         Completed packets staged per stream awaiting :meth:`poll`;
         overflow sheds the *newest* packet with ``shed_overflow``
         accounting (the socket thread must never block).
+    track_submissions:
+        How many recent ``(stream_id, seq) -> task_id`` mappings
+        :meth:`submissions` retains (oldest evicted first).  Bounded so
+        a long-running server does not leak one entry per packet ever
+        served; raise it in tests that map every result back.
     """
 
     def __init__(
@@ -84,16 +89,22 @@ class IngestServer:
         tcp_port: Optional[int] = None,
         window: int = 64,
         stream_buffer: int = 256,
+        track_submissions: int = 4096,
         name: str = "ingest",
     ) -> None:
         if udp_port is None and tcp_port is None:
             raise ValueError("enable at least one transport (udp_port/tcp_port)")
         if stream_buffer < 1:
             raise ValueError("stream_buffer must be >= 1, got %d" % stream_buffer)
+        if track_submissions < 1:
+            raise ValueError(
+                "track_submissions must be >= 1, got %d" % track_submissions
+            )
         self.fabric = fabric
         self.host = host
         self.name = name
         self.stream_buffer = int(stream_buffer)
+        self.track_submissions = int(track_submissions)
         self._udp_requested = udp_port
         self._tcp_requested = tcp_port
         self._reassembler = Reassembler(window=window)
@@ -102,7 +113,7 @@ class IngestServer:
         self._staged_per_stream: Dict[int, int] = {}
         self._shed: Dict[int, Dict[str, int]] = {}
         self._submitted: Dict[int, int] = {}
-        self._task_ids: Dict[Tuple[int, int], int] = {}
+        self._task_ids: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
         self._datagrams = 0
         self._tcp_conns = 0
         self._tcp_violations = 0
@@ -319,6 +330,8 @@ class IngestServer:
                         self._submitted.get(packet.stream_id, 0) + 1
                     )
                     self._task_ids[(packet.stream_id, packet.seq)] = outcome.task_id
+                    while len(self._task_ids) > self.track_submissions:
+                        self._task_ids.popitem(last=False)
                 else:
                     self._shed_locked(packet.stream_id, "shed_" + outcome.reason)
                     self.fabric.ingest_event("ingest_shed")
@@ -367,7 +380,8 @@ class IngestServer:
         return self.fabric.results()
 
     def submissions(self) -> Dict[Tuple[int, int], int]:
-        """``(stream_id, seq) -> fabric task id`` for every accepted packet."""
+        """``(stream_id, seq) -> fabric task id`` for recently accepted
+        packets (the newest *track_submissions* of them)."""
         with self._lock:
             return dict(self._task_ids)
 
@@ -402,6 +416,7 @@ class IngestServer:
                 "tcp_connections": self._tcp_conns,
                 "tcp_violations": self._tcp_violations,
                 "malformed": dict(stats["listener"]),
+                "evicted": dict(stats["evicted"]),
                 "streams": streams,
             }
 

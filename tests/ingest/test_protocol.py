@@ -9,6 +9,7 @@ from repro.ingest import (
     DTYPES,
     HEADER_SIZE,
     MAGIC,
+    MAX_PACKET_NBYTES,
     BadMagic,
     CorruptHeader,
     TruncatedDatagram,
@@ -131,6 +132,28 @@ def test_corrupt_header_fields_raise_typed():
     struct.pack_into("<H", frame, 30, 1)  # flags |= FLAG_END
     with pytest.raises(CorruptHeader):
         parse_datagram(bytes(frame))
+
+
+def test_packet_size_cap_is_enforced_at_parse_time():
+    """``n_samples`` is a u32: a forged header must not be able to
+    promise a multi-GiB packet the receiver would buffer toward."""
+    frame = bytearray(encode_packet(1, 0, _rx())[0])
+    struct.pack_into("<I", frame, 20, 2**28)  # n_samples: claims ~4 GiB
+    with pytest.raises(CorruptHeader, match="cap"):
+        parse_datagram(bytes(frame))
+
+
+def test_frag_count_exceeding_payload_bytes_is_corrupt():
+    frame = bytearray(encode_packet(1, 0, _rx(n_ant=1, n=8))[0])  # 64-byte packet
+    struct.pack_into("<H", frame, 28, 65535)  # frag_count
+    with pytest.raises(CorruptHeader, match="frag_count"):
+        parse_datagram(bytes(frame))
+
+
+def test_encoder_refuses_packets_over_the_cap():
+    rx = np.zeros((1, MAX_PACKET_NBYTES // 8 + 1), dtype=np.complex64)
+    with pytest.raises(ValueError, match="cap"):
+        encode_packet(1, 0, rx, dtype="c64")
 
 
 def test_encode_packet_validates_inputs():

@@ -176,3 +176,119 @@ def test_max_streams_evicts_least_outstanding():
     ids = r.stream_ids()
     assert len(ids) == 2 and 12 in ids
     assert 11 in ids, "the stream holding fragments was kept"
+
+
+def test_eviction_folds_counters_into_aggregate_bucket():
+    r = Reassembler(max_streams=2)
+    r.offer(_frames(0, stream_id=10)[0])  # clean: 1 released
+    r.offer(_frames(0, stream_id=11, max_payload=200)[0])  # outstanding state
+    r.offer(_frames(0, stream_id=12)[0])  # evicts the clean stream 10
+    assert r.stream_ids() == [11, 12]
+    ev = r.stats()["evicted"]
+    assert ev["streams"] == 1
+    assert ev["released"] == 1, "the evicted stream's history survives"
+    assert ev["gaps"] == 0 and ev["incomplete"] == 0
+
+
+def test_eviction_settles_outstanding_state():
+    r = Reassembler(window=64, max_streams=1)
+    r.offer(_frames(1, stream_id=10)[0])  # held: seq 0 still missing
+    r.offer(_frames(0, stream_id=11)[0])  # evicts stream 10
+    ev = r.stats()["evicted"]
+    assert ev["streams"] == 1 and ev["received"] == 1
+    assert ev["incomplete"] == 1, "the held packet was written off"
+    assert ev["gaps"] == 1, "the never-seen seq 0"
+    assert ev["released"] == 0
+
+
+def test_session_reset_settles_the_old_epoch():
+    r = Reassembler(window=64)
+    r.offer(_frames(0, session=1)[0])
+    r.offer(_frames(2, session=1)[0])  # held: seq 1 still missing
+    out = r.offer(_frames(0, seed=9, session=2)[0])
+    assert [p.seq for p in out] == [0], "the new epoch releases cleanly"
+    c = _counters(r)
+    assert c["resets"] == 1
+    assert c["incomplete"] == 1, "the old epoch's held seq 2"
+    assert c["gaps"] == 1, "the old epoch's never-seen seq 1"
+    # Ledger: 3 packets of the old epoch + 1 of the new, each once.
+    assert c["released"] + c["gaps"] + c["incomplete"] == 4
+
+
+def test_forged_far_future_seq_advances_arithmetically():
+    """One datagram with seq near 2^32 (an unvalidated u32 off the wire)
+    must jump the window in O(window), not spin per sequence — and the
+    exactly-once ledger must still balance over the whole jump."""
+    r = Reassembler(window=4)
+    r.offer(_frames(0)[0])
+    far = 2**32 - 1
+    assert r.offer(_frames(far, seed=1)[0]) == []  # held behind the jumped floor
+    flushed = r.flush()
+    assert [p.seq for p in flushed] == [far]
+    c = _counters(r)
+    assert c["released"] == 2
+    assert c["released"] + c["gaps"] == 2**32
+    # Everything the jump wrote off is stale now, never resurrected.
+    assert r.offer(_frames(1)[0]) == []
+    assert _counters(r)["stale"] == 1
+
+
+def test_forged_end_marker_flushes_arithmetically():
+    r = Reassembler(window=4)
+    r.offer(_frames(0)[0])
+    r.offer(end_marker(1, 2**32 - 1))  # forged count near u32 max
+    assert r.flush() == []
+    c = _counters(r)
+    assert c["released"] == 1
+    assert c["released"] + c["gaps"] == 2**32 - 1
+
+
+def test_corrupt_seq_lands_in_exactly_one_counter():
+    """A poisoned seq is tombstoned: the window advance never recounts
+    it as a gap, late fragments cannot resurrect it, and it never
+    blocks the release line."""
+    r = Reassembler(window=2)
+    frames = _frames(0, max_payload=200)
+    r.offer(frames[0])
+    liar = encode_packet(1, 0, _rx(0, n=64), dtype="c64", max_payload=200)[0]
+    r.offer(liar)  # poisons seq 0 at the head of the line
+    assert r.offer(frames[1]) == [], "a late fragment cannot resurrect it"
+    out = []
+    for seq in [1, 2, 3]:
+        out.extend(r.offer(_frames(seq)[0]))
+    assert [p.seq for p in out] == [1, 2, 3], "the poison never blocked the line"
+    r.offer(end_marker(1, 4))
+    assert r.flush() == []
+    c = _counters(r)
+    assert c["corrupt"] == 1
+    assert c["gaps"] == 0 and c["incomplete"] == 0
+    assert c["stale"] == 1
+    assert c["released"] + c["gaps"] + c["incomplete"] + c["corrupt"] == 4
+
+
+def test_corrupt_mid_window_not_double_counted_on_advance():
+    r = Reassembler(window=2)
+    r.offer(_frames(1, max_payload=200)[0])
+    liar = encode_packet(1, 1, _rx(5, n=64), dtype="c64", max_payload=200)[0]
+    r.offer(liar)  # seq 1 poisoned while seq 0 is still awaited
+    out = []
+    for seq in [2, 3]:
+        out.extend(r.offer(_frames(seq)[0]))
+    assert [p.seq for p in out] == [2, 3]
+    c = _counters(r)
+    assert c["corrupt"] == 1
+    assert c["gaps"] == 1, "only seq 0, never seq 1 again"
+    assert c["released"] + c["gaps"] + c["corrupt"] == 4
+
+
+def test_frag_count_lie_is_poisoned_before_buffering():
+    """A header claiming absurdly many fragments for its payload size is
+    rejected on the *first* fragment — the receiver never hoards bytes
+    toward a total the packet's claimed shape cannot tile."""
+    r = Reassembler(window=4)
+    frame = bytearray(_frames(0, max_payload=200)[0])
+    struct.pack_into("<H", frame, 28, 1000)  # frag_count: 7 -> 1000
+    assert r.offer(bytes(frame)) == []
+    c = _counters(r)
+    assert c["corrupt"] == 1
+    assert c["pending"] == 0, "the lying packet buffered nothing"

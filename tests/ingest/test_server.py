@@ -202,12 +202,30 @@ def test_overflow_sheds_newest_with_accounting():
         assert server.accounting_problems({3: 10}) == []
 
 
+def test_submissions_retention_is_bounded():
+    """A long-running server must not leak one task-id mapping per
+    packet ever served: only the newest track_submissions survive."""
+    waves = _waveforms(10, seed=6, n_samples=200)
+    fab = Fabric(workers=1, runner_factory=_checksum_factory, queue_depth=8)
+    with fab:
+        with IngestServer(fab, udp_port=0, track_submissions=4) as server:
+            send_stream(waves, udp=server.udp_address, stream_id=7)
+            server.drain(timeout=60)
+        tasks = server.submissions()
+        assert set(tasks) == {(7, seq) for seq in range(6, 10)}, tasks
+        view = fab.report()["ingest"]["streams"]["7"]
+        assert view["submitted"] == 10, "accounting is unaffected by the bound"
+        assert server.accounting_problems({7: 10}) == []
+
+
 def test_lifecycle_validation():
     fab = Fabric(workers=1, runner_factory=_checksum_factory)
     with pytest.raises(ValueError, match="transport"):
         IngestServer(fab, udp_port=None, tcp_port=None)
     with pytest.raises(ValueError, match="stream_buffer"):
         IngestServer(fab, stream_buffer=0)
+    with pytest.raises(ValueError, match="track_submissions"):
+        IngestServer(fab, track_submissions=0)
 
 
 # ----------------------------------------------------------------------

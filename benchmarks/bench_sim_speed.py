@@ -15,8 +15,15 @@ The sweep structure:
 * a **warm** run per tier (``decoded`` and ``compiled`` always,
   ``reference`` with ``--reference``) repeats the packet with the
   process-wide schedule and codegen caches populated, isolating pure
-  simulation speed; per-tier numbers land in ``extra.tiers`` and the
-  pairwise ratios in ``extra.speedups``.
+  simulation speed (best wall of three timed repetitions); per-tier
+  numbers land in ``extra.tiers`` and the pairwise ratios in
+  ``extra.speedups``;
+* a **batched** run per width B in {1, 4, 16}: a resident
+  :class:`~repro.runtime.BatchedModemRuntime` processes B copies of the
+  packet per ``run_batch`` call (tier keys ``batched_b<B>``, throughput
+  normalised per packet).  ``--min-batched-speedup`` gates the best
+  batched tier against the per-packet compiled tier — the CI regression
+  gate for the cross-packet batching work.
 
 Every warm run's cycle count and decoded bits are checked for equality
 against the cold run (the bit-exact contract; the exhaustive diff lives
@@ -41,7 +48,11 @@ sys.path.insert(0, _HERE)
 
 import reporting
 from repro.eval import run_reference_modem
+from repro.runtime import BatchedModemRuntime, make_packet
 from repro.trace import schema_errors
+
+#: Batch widths swept by the batched compiled tier.
+BATCH_WIDTHS = (1, 4, 16)
 
 
 def timed_run(interpreter):
@@ -49,6 +60,28 @@ def timed_run(interpreter):
     run = run_reference_modem(seed=42, cfo_hz=50e3, snr_db=None, interpreter=interpreter)
     wall = time.perf_counter() - t0
     return run, wall
+
+
+def timed_batched_run(batch):
+    """Warm, resident batched run: B copies of the packet per call.
+
+    The first ``run_batch`` primes the resident structures (lane cores,
+    batch functions, linked programs); the timed calls measure the
+    steady serving state the fabric's batch-drain mode reaches (best of
+    three repetitions, like the per-packet tiers, to ride out scheduler
+    noise on shared runners).
+    """
+    case = make_packet(42, cfo_hz=50e3)
+    runtime = BatchedModemRuntime(batch=batch)
+    packets = [case.rx] * batch
+    runtime.run_batch(packets)
+    wall = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        outputs = runtime.run_batch(packets)
+        rep = time.perf_counter() - t0
+        wall = rep if wall is None else min(wall, rep)
+    return runtime, outputs, wall
 
 
 def main(argv=None) -> int:
@@ -60,6 +93,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR", help="report directory (default benchmarks/out)"
+    )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="fail unless the best batched tier is at least X times the "
+        "warm per-packet compiled tier (0 disables the gate)",
     )
     args = parser.parse_args(argv)
 
@@ -78,9 +119,14 @@ def main(argv=None) -> int:
     for tier in tier_names:
         # Prime the tier's process-wide caches (codegen for "compiled";
         # decoded/schedule already warm from the cold run) so the timed
-        # run measures steady-state simulation only.
+        # runs measure steady-state simulation only; best of three
+        # repetitions rides out scheduler noise on shared runners.
         timed_run(tier)
         warm, warm_wall = timed_run(tier)
+        for _ in range(2):
+            warm2, wall2 = timed_run(tier)
+            if wall2 < warm_wall:
+                warm, warm_wall = warm2, wall2
         warm_cps = warm.output.stats.total_cycles / warm_wall
         print("%s (warm): %.3fs -> %.0f cycles/s" % (tier, warm_wall, warm_cps))
         if warm.output.stats.total_cycles != stats.total_cycles:
@@ -100,12 +146,49 @@ def main(argv=None) -> int:
             "warm_host_cycles_per_sec": round(warm_cps, 3),
         }
 
+    # Batched compiled tier: one resident runtime per width, the same
+    # bit-exact contract as the per-packet tiers for every lane.
+    for b in BATCH_WIDTHS:
+        runtime, outputs, wall_b = timed_batched_run(b)
+        cycles_b = sum(out.stats.total_cycles for out in outputs)
+        cps_b = cycles_b / wall_b
+        print(
+            "batched B=%d (warm): %.3fs (%.3fs/pkt) -> %.0f cycles/s"
+            % (b, wall_b, wall_b / b, cps_b)
+        )
+        for out in outputs:
+            if out.stats.total_cycles != stats.total_cycles:
+                print(
+                    "FAIL: cycle counts differ (batched B=%d vs cold decoded)" % b,
+                    file=sys.stderr,
+                )
+                return 1
+            if list(out.bits) != list(run.output.bits):
+                print(
+                    "FAIL: decoded bits differ (batched B=%d vs cold decoded)" % b,
+                    file=sys.stderr,
+                )
+                return 1
+        if runtime.fallbacks:
+            print(
+                "FAIL: batched B=%d needed %d per-packet fallbacks on a "
+                "uniform batch" % (b, runtime.fallbacks),
+                file=sys.stderr,
+            )
+            return 1
+        tiers["batched_b%d" % b] = {
+            "warm_wall_s": round(wall_b, 6),
+            "warm_wall_s_per_packet": round(wall_b / b, 6),
+            "warm_host_cycles_per_sec": round(cps_b, 3),
+            "batch": b,
+        }
+
     speedups = {}
-    for num, den in (
+    for num, den in [
         ("compiled", "decoded"),
         ("decoded", "reference"),
         ("compiled", "reference"),
-    ):
+    ] + [("batched_b%d" % b, "compiled") for b in BATCH_WIDTHS]:
         if num in tiers and den in tiers:
             ratio = (
                 tiers[num]["warm_host_cycles_per_sec"]
@@ -113,6 +196,22 @@ def main(argv=None) -> int:
             )
             speedups["%s_vs_%s" % (num, den)] = round(ratio, 3)
             print("warm %s/%s speedup: %.2fx" % (num, den, ratio))
+
+    if args.min_batched_speedup > 0:
+        best = max(
+            speedups["batched_b%d_vs_compiled" % b] for b in BATCH_WIDTHS
+        )
+        if best < args.min_batched_speedup:
+            print(
+                "FAIL: best batched/compiled speedup %.2fx < required %.2fx"
+                % (best, args.min_batched_speedup),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "batched gate ok: best batched/compiled speedup %.2fx >= %.2fx"
+            % (best, args.min_batched_speedup)
+        )
 
     extra = {
         "interpreter": "decoded",

@@ -34,8 +34,10 @@ __all__ = [
     "write_bench_report",
 ]
 
-#: Format identifier embedded in every benchmark report.
-BENCH_REPORT_SCHEMA = "repro.bench_report/v1"
+#: Format identifier embedded in every benchmark report.  v2 added the
+#: batched compiled tier to ``extra.tiers`` (``batch`` width and
+#: ``warm_wall_s_per_packet`` per batched entry in ``bench_sim_speed``).
+BENCH_REPORT_SCHEMA = "repro.bench_report/v2"
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 

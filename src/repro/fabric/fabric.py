@@ -140,6 +140,9 @@ class _Worker:
         self.proc: Optional[multiprocessing.process.BaseProcess] = None
         self.task_conn = None  # parent send end
         self.result_conn = None  # parent recv end
+        #: Batch-drain mode: the task-id sets of dispatches still in the
+        #: pipe (``max_inflight`` bounds dispatches, not tasks, there).
+        self.open_dispatches: List[set] = []
 
 
 class Fabric:
@@ -152,6 +155,7 @@ class Fabric:
         backpressure: str = "block",
         queue_depth: int = 4,
         max_inflight: int = 1,
+        batch: int = 1,
         submit_timeout_s: float = 120.0,
         deadline_s: Optional[float] = None,
         runtime_kwargs: Optional[dict] = None,
@@ -178,6 +182,8 @@ class Fabric:
             raise ValueError("queue_depth must be >= 1, got %d" % queue_depth)
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1, got %d" % max_inflight)
+        if batch < 1:
+            raise ValueError("batch must be >= 1, got %d" % batch)
         if backpressure == "deadline" and deadline_s is None:
             raise ValueError("deadline backpressure needs a default deadline_s")
         if heartbeat_s < 0:
@@ -189,6 +195,10 @@ class Fabric:
         self.backpressure = backpressure
         self.queue_depth = int(queue_depth)
         self.max_inflight = int(max_inflight)
+        #: Batch-drain width: with ``batch > 1`` workers run a batched
+        #: runtime and ``_feed`` coalesces up to this many same-shape
+        #: queued tasks into one dispatch message.
+        self.batch = int(batch)
         self.submit_timeout_s = submit_timeout_s
         self.deadline_s = deadline_s
         self.name = name
@@ -254,11 +264,24 @@ class Fabric:
             raise FabricClosed("fabric already shut down")
         if self._runner_factory is None and (warm_packets or self._template is None):
             if self._template is None:
-                from repro.runtime import ModemRuntime
+                if self.batch > 1:
+                    # Batch-drain mode: workers fork a warm batched
+                    # runtime so coalesced dispatches run in lockstep
+                    # (falling back per packet bit-identically on
+                    # divergence).
+                    from repro.runtime import BatchedModemRuntime
 
-                self._template = ModemRuntime(
-                    cache_dir=self._cache_dir, **self._runtime_kwargs
-                )
+                    self._template = BatchedModemRuntime(
+                        cache_dir=self._cache_dir,
+                        batch=self.batch,
+                        **self._runtime_kwargs,
+                    )
+                else:
+                    from repro.runtime import ModemRuntime
+
+                    self._template = ModemRuntime(
+                        cache_dir=self._cache_dir, **self._runtime_kwargs
+                    )
             for rx in warm_packets:
                 self._template.warm_up(rx)
         for slot in range(self.n_workers):
@@ -373,6 +396,38 @@ class Fabric:
         """
         self._require_open()
         self._pump(0)
+        return self._offer_one(rx, n_symbols, detect_hint, deadline_s)
+
+    def offer_many(
+        self,
+        rxs: Sequence[np.ndarray],
+        n_symbols: int = 2,
+        detect_hint: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> List[SubmitOutcome]:
+        """Offer a list of packets with one pump round-trip.
+
+        Each packet gets exactly the per-packet :meth:`offer` semantics
+        and accounting (accept / ``dropped`` / ``rejected``, in input
+        order), but the completion pump runs once up front instead of
+        once per packet — the batch-aware submission path the ingest
+        drain uses so a reassembled burst costs one multiplex round, not
+        one per packet.  Consecutive same-shape accepts landing on the
+        same slot are then coalesced by batch-drain ``_feed``.
+        """
+        self._require_open()
+        self._pump(0)
+        return [
+            self._offer_one(rx, n_symbols, detect_hint, deadline_s) for rx in rxs
+        ]
+
+    def _offer_one(
+        self,
+        rx: np.ndarray,
+        n_symbols: int,
+        detect_hint: Optional[int],
+        deadline_s: Optional[float],
+    ) -> SubmitOutcome:
         rx = np.atleast_2d(rx)
         shape = (int(rx.shape[1]), int(n_symbols))
         now = time.perf_counter()
@@ -425,15 +480,60 @@ class Fabric:
         raise SubmitTimeout(self.submit_timeout_s, self.outstanding, self.n_workers)
 
     def _feed(self, worker: _Worker) -> None:
-        """Move pending packets into the pipe, up to ``max_inflight``."""
+        """Move pending packets into the pipe, up to ``max_inflight``
+        dispatches (each carrying up to ``batch`` same-shape packets in
+        batch-drain mode)."""
         state = worker.state
         while (
             state.alive
             and not state.stopping
             and state.pending
-            and len(state.inflight) < self.max_inflight
+            and len(worker.open_dispatches) < self.max_inflight
         ):
-            task = state.pending.popleft()
+            group = self._collect_group(state)
+            if not group:
+                continue  # everything popped this round was late-shed
+            if len(group) == 1:
+                task = group[0]
+                payload = (task.task_id, task.rx, task.n_symbols, task.detect_hint)
+            else:
+                payload = (
+                    tuple(task.task_id for task in group),
+                    [task.rx for task in group],
+                    group[0].n_symbols,
+                    group[0].detect_hint,
+                )
+            try:
+                worker.task_conn.send(payload)
+            except (BrokenPipeError, OSError):
+                for task in reversed(group):
+                    state.pending.appendleft(task)
+                self._on_worker_death(worker)
+                return
+            worker.open_dispatches.append({task.task_id for task in group})
+            for task in group:
+                state.inflight[task.task_id] = task
+            if self.batch > 1:
+                state.batches += 1
+                state.batched_tasks += len(group)
+
+    def _collect_group(self, state: WorkerState) -> List[FabricTask]:
+        """Pop up to ``batch`` coalescable pending tasks.
+
+        Tasks coalesce only while they share (shape, n_symbols,
+        detect_hint) — the batched runtime buckets by shape, and the
+        other two ride per dispatch message.  Late deadline shedding is
+        identical to the single-task path: expired packets resolve to
+        :class:`DeadlineExceeded` and never reach the pipe.
+        """
+        group: List[FabricTask] = []
+        key = None
+        while state.pending and len(group) < self.batch:
+            task = state.pending[0]
+            task_key = (task.shape, task.n_symbols, task.detect_hint)
+            if key is not None and task_key != key:
+                break
+            state.pending.popleft()
             if (
                 task.deadline_t is not None
                 and time.perf_counter() > task.deadline_t
@@ -443,15 +543,9 @@ class Fabric:
                 self._results[task.task_id] = DeadlineExceeded(task.task_id)
                 self._event("packet_rejected", {"task": task.task_id, "late": True})
                 continue
-            try:
-                worker.task_conn.send(
-                    (task.task_id, task.rx, task.n_symbols, task.detect_hint)
-                )
-            except (BrokenPipeError, OSError):
-                state.pending.appendleft(task)
-                self._on_worker_death(worker)
-                return
-            state.inflight[task.task_id] = task
+            key = task_key
+            group.append(task)
+        return group
 
     # ------------------------------------------------------------------
     # The pump: completions, crashes, respawns.
@@ -548,6 +642,7 @@ class Fabric:
             state.spinup_s = info.get("spinup_s")
             state.spinup_schedule_misses = info.get("schedule_misses")
             state.spinup_codegen_compilations = info.get("codegen_compilations")
+            state.spinup_batched = info.get("batched")
             return
         if tag == MSG_BYE:
             return
@@ -568,6 +663,9 @@ class Fabric:
         if tag in (MSG_RESULT, MSG_ERROR):
             task_id, dt = msg[1], msg[2]
             task = state.inflight.pop(task_id, None)
+            for members in worker.open_dispatches:
+                members.discard(task_id)
+            worker.open_dispatches = [m for m in worker.open_dispatches if m]
             if task_id in self._results:
                 # Exactly-once guard; unreachable in the current
                 # requeue protocol but cheap insurance against it.
@@ -619,6 +717,7 @@ class Fabric:
         orphans = list(state.inflight.values()) + list(state.pending)
         state.inflight.clear()
         state.pending.clear()
+        worker.open_dispatches = []
         for conn in (worker.task_conn, worker.result_conn):
             try:
                 conn.close()
@@ -876,6 +975,18 @@ class Fabric:
                     "spinup_s": state.spinup_s,
                     "spinup_schedule_misses": state.spinup_schedule_misses,
                     "spinup_codegen_compilations": state.spinup_codegen_compilations,
+                    "spinup_batched": state.spinup_batched,
+                    "batches": state.batches if self.batch > 1 else None,
+                    "batched_tasks": (
+                        state.batched_tasks if self.batch > 1 else None
+                    ),
+                    "batch_occupancy": (
+                        round(
+                            state.batched_tasks / (state.batches * self.batch), 4
+                        )
+                        if self.batch > 1 and state.batches
+                        else (0.0 if self.batch > 1 else None)
+                    ),
                     "heartbeats": state.heartbeats,
                     "last_heartbeat_age_s": (
                         round(age, 3) if age is not None else None
@@ -908,6 +1019,7 @@ class Fabric:
             "backpressure": self.backpressure,
             "workers": self.n_workers,
             "queue_depth": self.queue_depth,
+            "batch": self.batch,
             "heartbeat_s": self.heartbeat_s,
             "wall_s": round(wall, 6),
             "packets_per_sec": round(completed / wall, 3) if wall else 0.0,

@@ -37,11 +37,18 @@ __all__ = [
 ]
 
 #: Format identifier embedded in every fabric report.  v2 added the
-#: ``ingest`` section (None unless an ``IngestServer`` is attached).
-FABRIC_REPORT_SCHEMA = "repro.fabric_report/v2"
+#: ``ingest`` section (None unless an ``IngestServer`` is attached);
+#: v3 added batch-drain accounting: a top-level ``batch`` width and
+#: per-worker ``batches`` / ``batched_tasks`` / ``batch_occupancy`` /
+#: ``spinup_batched`` (all None/absent when batching is off).
+FABRIC_REPORT_SCHEMA = "repro.fabric_report/v3"
 
 #: Prior revisions attach-mode tooling still accepts.
-COMPATIBLE_REPORT_SCHEMAS = ("repro.fabric_report/v1", FABRIC_REPORT_SCHEMA)
+COMPATIBLE_REPORT_SCHEMAS = (
+    "repro.fabric_report/v1",
+    "repro.fabric_report/v2",
+    FABRIC_REPORT_SCHEMA,
+)
 
 _PREFIX = "repro_fabric_"
 _INGEST_PREFIX = "repro_ingest_"
@@ -123,6 +130,7 @@ _COUNTER_HELP = {
 
 _GAUGE_HELP = {
     "workers": "Configured worker slots in this fabric.",
+    "batch": "Batch-drain width (1 = per-packet dispatch).",
     "outstanding": "Accepted packets not yet completed (pending + in-flight).",
     "packets_per_sec": "Lifetime completed-packet throughput.",
     "wall_seconds": "Seconds since the fabric started.",
@@ -140,6 +148,13 @@ _WORKER_GAUGES = (
      "Cumulative simulated cycles per the slot's last heartbeat."),
     ("worker_rss_bytes", "rss_bytes",
      "Worker resident set size per its last heartbeat."),
+    ("worker_batches", "batches",
+     "Batch-drain dispatches sent to this worker slot."),
+    ("worker_batched_tasks", "batched_tasks",
+     "Tasks carried by this slot's batch-drain dispatches."),
+    ("worker_batch_occupancy", "batch_occupancy",
+     "Mean fill fraction of this slot's batch dispatches "
+     "(batched_tasks / (batches * batch width))."),
 )
 
 
@@ -159,6 +174,7 @@ def fabric_prometheus_text(report: dict) -> str:
         lines.append(prom_sample(full, value))
     gauges = [
         ("workers", report.get("workers")),
+        ("batch", report.get("batch")),
         ("outstanding", report.get("outstanding")),
         ("packets_per_sec", report.get("packets_per_sec")),
         ("wall_seconds", report.get("wall_s")),

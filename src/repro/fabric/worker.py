@@ -117,6 +117,44 @@ def _heartbeat_loop(
             return  # parent gone or pipe closed: nothing left to tell
 
 
+def _serve_batch(
+    runner, send_lock, result_conn, task_ids, rxs, n_symbols, detect_hint
+) -> None:
+    """Run one coalesced dispatch through the batched runtime.
+
+    Every task still gets its own result message (the parent's
+    exactly-once accounting is per task id); the wall time of the whole
+    batch is split evenly across its tasks so per-slot ``busy_s`` keeps
+    summing to real busy time.  A batch-level failure — the runner
+    itself raising, not a per-packet error — is reported against every
+    task in the dispatch.
+    """
+    t0 = time.perf_counter()
+    try:
+        batch_results = runner.run_batch_results(
+            rxs, n_symbols=n_symbols, detect_hint=detect_hint
+        )
+    except Exception as exc:
+        dt = (time.perf_counter() - t0) / len(task_ids)
+        for task_id in task_ids:
+            with send_lock:
+                result_conn.send(
+                    (MSG_ERROR, task_id, dt, "%s: %s" % (type(exc).__name__, exc))
+                )
+        return
+    dt = (time.perf_counter() - t0) / len(task_ids)
+    for task_id, result in zip(task_ids, batch_results):
+        if result.error is not None:
+            err = result.error
+            with send_lock:
+                result_conn.send(
+                    (MSG_ERROR, task_id, dt, "%s: %s" % (type(err).__name__, err))
+                )
+        else:
+            with send_lock:
+                result_conn.send((MSG_RESULT, task_id, dt, result.output))
+
+
 def worker_main(
     index: int,
     task_conn,
@@ -143,6 +181,7 @@ def worker_main(
                 "spinup_s": time.perf_counter() - t0,
                 "schedule_misses": _schedule_misses() - misses_before,
                 "codegen_compilations": _codegen_compilations() - codegen_before,
+                "batched": hasattr(runner, "run_batch_results"),
             },
         )
     )
@@ -169,21 +208,35 @@ def worker_main(
             except (OSError, BrokenPipeError):
                 pass
             break
-        task_id, rx, n_symbols, detect_hint = msg
-        t0 = time.perf_counter()
-        try:
-            out = runner.run_packet(rx, n_symbols=n_symbols, detect_hint=detect_hint)
-        except Exception as exc:  # task-level fault: report, keep serving
-            dt = time.perf_counter() - t0
-            with send_lock:
-                result_conn.send(
-                    (MSG_ERROR, task_id, dt, "%s: %s" % (type(exc).__name__, exc))
-                )
+        # Batch-drain dispatches arrive as (task_id_tuple, rx_list, ...);
+        # single-task messages keep the original (task_id, rx, ...) form.
+        if isinstance(msg[0], tuple):
+            task_ids, rxs, n_symbols, detect_hint = msg
         else:
-            dt = time.perf_counter() - t0
-            with send_lock:
-                result_conn.send((MSG_RESULT, task_id, dt, out))
-        progress["task_seq"] += 1
+            task_ids, rxs, n_symbols, detect_hint = (msg[0],), [msg[1]], msg[2], msg[3]
+        if len(task_ids) > 1 and hasattr(runner, "run_batch_results"):
+            _serve_batch(
+                runner, send_lock, result_conn, task_ids, rxs, n_symbols, detect_hint
+            )
+            progress["task_seq"] += len(task_ids)
+            continue
+        for task_id, rx in zip(task_ids, rxs):
+            t0 = time.perf_counter()
+            try:
+                out = runner.run_packet(
+                    rx, n_symbols=n_symbols, detect_hint=detect_hint
+                )
+            except Exception as exc:  # task-level fault: report, keep serving
+                dt = time.perf_counter() - t0
+                with send_lock:
+                    result_conn.send(
+                        (MSG_ERROR, task_id, dt, "%s: %s" % (type(exc).__name__, exc))
+                    )
+            else:
+                dt = time.perf_counter() - t0
+                with send_lock:
+                    result_conn.send((MSG_RESULT, task_id, dt, out))
+            progress["task_seq"] += 1
     stop_beating.set()
     try:
         result_conn.close()

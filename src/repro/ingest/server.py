@@ -317,24 +317,42 @@ class IngestServer:
         """
         accepted = 0
         while True:
+            # Batch-aware submission: take every staged packet of one
+            # n_symbols run in a single lock round-trip, offer them with
+            # one Fabric.offer_many call (one completion pump for the
+            # whole burst), then account all outcomes under one lock.
+            # Shed accounting is per packet and unchanged: each outcome
+            # carries its typed reason.
             with self._lock:
                 if not self._staged:
                     break
-                packet = self._staged.popleft()
-                self._staged_per_stream[packet.stream_id] -= 1
-            outcome = self.fabric.offer(packet.rx, n_symbols=packet.n_symbols)
+                batch = []
+                n_symbols = self._staged[0].n_symbols
+                while self._staged and self._staged[0].n_symbols == n_symbols:
+                    packet = self._staged.popleft()
+                    self._staged_per_stream[packet.stream_id] -= 1
+                    batch.append(packet)
+            outcomes = self.fabric.offer_many(
+                [packet.rx for packet in batch], n_symbols=n_symbols
+            )
+            shed = 0
             with self._lock:
-                if outcome.accepted:
-                    accepted += 1
-                    self._submitted[packet.stream_id] = (
-                        self._submitted.get(packet.stream_id, 0) + 1
-                    )
-                    self._task_ids[(packet.stream_id, packet.seq)] = outcome.task_id
-                    while len(self._task_ids) > self.track_submissions:
-                        self._task_ids.popitem(last=False)
-                else:
-                    self._shed_locked(packet.stream_id, "shed_" + outcome.reason)
-                    self.fabric.ingest_event("ingest_shed")
+                for packet, outcome in zip(batch, outcomes):
+                    if outcome.accepted:
+                        accepted += 1
+                        self._submitted[packet.stream_id] = (
+                            self._submitted.get(packet.stream_id, 0) + 1
+                        )
+                        self._task_ids[(packet.stream_id, packet.seq)] = (
+                            outcome.task_id
+                        )
+                        while len(self._task_ids) > self.track_submissions:
+                            self._task_ids.popitem(last=False)
+                    else:
+                        self._shed_locked(packet.stream_id, "shed_" + outcome.reason)
+                        shed += 1
+            if shed:
+                self.fabric.ingest_event("ingest_shed", shed)
         self.fabric.poll(timeout)
         return accepted
 

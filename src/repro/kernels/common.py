@@ -75,6 +75,13 @@ def pack_complex_word(re: int, im: int) -> int:
     return (int(np.uint16(np.int16(re)))) | (int(np.uint16(np.int16(im))) << 16)
 
 
+def pack_complex_words(re, im) -> np.ndarray:
+    """Vectorised :func:`pack_complex_word`: int16 arrays -> uint32 words."""
+    r = np.asarray(re).astype(np.int16).view(np.uint16).astype(np.uint32)
+    i = np.asarray(im).astype(np.int16).view(np.uint16).astype(np.uint32)
+    return r | (i << np.uint32(16))
+
+
 def materialize_pair64(
     vb: VliwBuilder, value_reg, scratch_addr: int, duplicate_reg=None
 ) -> "object":

@@ -26,7 +26,7 @@ import numpy as np
 from repro.compiler.builder import KernelBuilder
 from repro.compiler.dfg import Const, Dfg
 from repro.isa.opcodes import Opcode
-from repro.kernels.common import MASK_PAIR0, pack_complex_word
+from repro.kernels.common import MASK_PAIR0, pack_complex_word, pack_complex_words
 from repro.phy.fft import bit_reverse_indices, twiddles_q15
 
 
@@ -257,13 +257,12 @@ def stage_twiddle_words(n: int, half: int, inverse: bool = False) -> List[int]:
     tw_re, tw_im = twiddles_q15(n, inverse)
     step = n // (2 * half)
     pairs = n // 4  # butterfly pairs per stage
-    words = []
-    for p in range(pairs):
-        j = (p % (half // 2)) * 2
-        w0 = pack_complex_word(int(tw_re[j * step]), int(tw_im[j * step]))
-        w1 = pack_complex_word(int(tw_re[(j + 1) * step]), int(tw_im[(j + 1) * step]))
-        words.append(w0 | (w1 << 32))
-    return words
+    j = (np.arange(pairs) % (half // 2)) * 2
+    w0 = pack_complex_words(tw_re[j * step], tw_im[j * step]).astype(np.uint64)
+    w1 = pack_complex_words(tw_re[(j + 1) * step], tw_im[(j + 1) * step]).astype(
+        np.uint64
+    )
+    return (w0 | (w1 << np.uint64(32))).tolist()
 
 
 def all_stage_halves(n: int = 64) -> List[int]:

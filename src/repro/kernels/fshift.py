@@ -22,7 +22,12 @@ import numpy as np
 from repro.compiler.builder import KernelBuilder
 from repro.compiler.dfg import Const, Dfg
 from repro.isa.opcodes import Opcode
-from repro.kernels.common import MASK_EVEN, MASK_ODD, pack_complex_word
+from repro.kernels.common import (
+    MASK_EVEN,
+    MASK_ODD,
+    pack_complex_word,
+    pack_complex_words,
+)
 from repro.phy.fixed import q15
 
 
@@ -154,13 +159,8 @@ def phasor_table_words(
     """Packed phasor table for the table-based fshift (two samples/word)."""
     n = np.arange(start_sample, start_sample + n_samples)
     ph = np.exp(2j * np.pi * freq_hz * n / sample_rate_hz)
-    re, im = q15(ph.real), q15(ph.imag)
-    words = []
-    for k in range(0, n_samples, 2):
-        lo = pack_complex_word(int(re[k]), int(im[k]))
-        hi = pack_complex_word(int(re[k + 1]), int(im[k + 1]))
-        words.append(lo | (hi << 32))
-    return words
+    packed = pack_complex_words(q15(ph.real), q15(ph.imag)).astype(np.uint64)
+    return (packed[0::2] | (packed[1::2] << np.uint64(32))).tolist()
 
 
 def phasor_table_words32(
@@ -172,11 +172,9 @@ def phasor_table_words32(
     entry (the gather permutation order), so the rotation phase stays
     continuous across reordered accesses.
     """
-    out = []
-    for n in sample_indices:
-        ph = np.exp(2j * np.pi * freq_hz * n / sample_rate_hz)
-        out.append(pack_complex_word(int(q15(ph.real)), int(q15(ph.imag))))
-    return out
+    idx = np.asarray(list(sample_indices), dtype=np.float64)
+    ph = np.exp(2j * np.pi * freq_hz * idx / sample_rate_hz)
+    return pack_complex_words(q15(ph.real), q15(ph.imag)).tolist()
 
 
 def rotate_constants(

@@ -118,6 +118,24 @@ class RegionRun:
 
 
 @dataclass
+class RegionRequest:
+    """One region the pipeline generator asks its driver to execute.
+
+    :meth:`SimReceiver._pipeline` yields these and receives
+    ``(RegionRun, image)`` back; :meth:`SimReceiver.run_packet` answers
+    with :meth:`SimReceiver._run_region` (the per-packet path), while
+    the batched runtime answers with lockstep lane execution.  The
+    fields mirror ``_run_region``'s parameters exactly.
+    """
+
+    name: str
+    image: bytearray
+    build: Callable[[ProgramLinker], Dict[str, object]]
+    key: tuple = ()
+    patch: Optional[Dict[int, int]] = None
+
+
+@dataclass
 class ReceiverOutput:
     """Result of running one packet through the simulated receiver."""
 
@@ -148,14 +166,10 @@ class ReceiverOutput:
 
 def _interleave_words(rx_re: np.ndarray, rx_im: np.ndarray) -> List[int]:
     """ADC stream: alternating antenna words (a0[k], a1[k])."""
-    out = []
-    n = rx_re.shape[1]
-    for k in range(n):
-        for ant in range(rx_re.shape[0]):
-            out.append(
-                (int(np.uint16(rx_re[ant, k]))) | (int(np.uint16(rx_im[ant, k])) << 16)
-            )
-    return out
+    words = rx_re.astype(np.int16).view(np.uint16).astype(np.uint32) | (
+        rx_im.astype(np.int16).view(np.uint16).astype(np.uint32) << np.uint32(16)
+    )
+    return words.T.reshape(-1).tolist()
 
 
 class SimReceiver:
@@ -260,6 +274,12 @@ class SimReceiver:
     # ------------------------------------------------------------------
 
     def _write_words(self, image: bytearray, addr: int, words: Sequence[int], size: int = 4):
+        if size in (4, 8):
+            data = np.asarray(
+                words, dtype="<u4" if size == 4 else "<u8"
+            ).tobytes()
+            image[addr : addr + len(data)] = data
+            return
         for k, w in enumerate(words):
             image[addr + size * k : addr + size * (k + 1)] = int(w).to_bytes(
                 size, "little"
@@ -357,6 +377,33 @@ class SimReceiver:
         knowledge of when the slave was started relative to the RF
         front-end stream); defaults to 32 samples into the buffer.
         """
+        gen = self._pipeline(rx, n_symbols=n_symbols, detect_hint=detect_hint)
+        resp = None
+        while True:
+            try:
+                req = gen.send(resp)
+            except StopIteration as stop:
+                return stop.value
+            resp = self._run_region(
+                req.name, req.image, req.build, key=req.key, patch=req.patch
+            )
+
+    def _pipeline(
+        self,
+        rx: np.ndarray,
+        n_symbols: int = 2,
+        detect_hint: Optional[int] = None,
+    ):
+        """The packet pipeline as a region generator.
+
+        Yields one :class:`RegionRequest` per Table 2 region, in packet
+        order, and expects ``(RegionRun, image)`` sent back for each;
+        returns the :class:`ReceiverOutput` via ``StopIteration``.  All
+        host orchestration (candidate picks, CORDIC constants, parameter
+        blocks) lives between the yields, so any driver that executes
+        the requested regions faithfully — per-packet or batched across
+        packets — produces bit-identical packets.
+        """
         if n_symbols != 2:
             raise ValueError("the pipeline processes one merged symbol pair")
         mem = self.mem
@@ -405,7 +452,7 @@ class SimReceiver:
             vb.op(Opcode.ADD, 0, n_symbols, dst=PhysReg(41))
             return {}
 
-        run, image = self._run_region("non-kernel code", image, build_init, key=shape)
+        run, image = yield RegionRequest("non-kernel code", image, build_init, key=shape)
         pre.append(run)
 
         # -- sample ordering: deinterleave the sync region ------------------
@@ -415,7 +462,7 @@ class SimReceiver:
             )
             return {}
 
-        run, image = self._run_region("sample ordering", image, build_order, key=shape)
+        run, image = yield RegionRequest("sample ordering", image, build_order, key=shape)
         pre.append(run)
 
         # -- acorr: packet detection (3 candidates) -------------------------
@@ -445,7 +492,7 @@ class SimReceiver:
                 handles["energy%d" % ci] = outs["energy"]
             return handles
 
-        run, image = self._run_region("acorr", image, build_acorr, key=("detect",) + shape)
+        run, image = yield RegionRequest("acorr", image, build_acorr, key=("detect",) + shape)
         pre.append(run)
         # Host: pick the first candidate whose correlation magnitude
         # clears the threshold, then derive the coarse CFO from its
@@ -488,7 +535,7 @@ class SimReceiver:
         table = phasor_table_words(-coarse_cfo, fs, n_rot, start_sample=ltf_guess)
         self._write_words(image, mem.PHTAB, table, size=8)
         self._write_param(image, _P_FSHIFT_SRC, mem.ANT0 + 4 * ltf_guess)
-        run, image = self._run_region("fshift", image, build_fshift1, key=("ltf",) + shape)
+        run, image = yield RegionRequest("fshift", image, build_fshift1, key=("ltf",) + shape)
         pre.append(run)
 
         # -- xcorr: timing (4 even candidates around the expected LTF) ------
@@ -519,7 +566,7 @@ class SimReceiver:
                 linker.release(outs)
             return {}
 
-        run, image = self._run_region("xcorr", image, build_xcorr, key=shape)
+        run, image = yield RegionRequest("xcorr", image, build_xcorr, key=shape)
         pre.append(run)
         mags = []
         for ci in range(len(xc_candidates)):
@@ -544,7 +591,7 @@ class SimReceiver:
             return {"corr": outs["corr"], "re": re_r, "im": im_r}
 
         self._write_param(image, _P_ACORR2_BASE, mem.WORK0 + 4 * ltf1_rel)
-        run, image = self._run_region("acorr", image, build_acorr2, key=("fine",) + shape)
+        run, image = yield RegionRequest("acorr", image, build_acorr2, key=("fine",) + shape)
         pre.append(run)
 
         # -- freq offset estimation: CORDIC on the array --------------------
@@ -564,7 +611,7 @@ class SimReceiver:
 
         self._write_param(image, _P_CORDIC_X, to_signed(fine_in[0], 32))
         self._write_param(image, _P_CORDIC_Y, to_signed(fine_in[1], 32))
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "freq offset estimation", image, build_freqest, key=shape
         )
         pre.append(run)
@@ -589,7 +636,7 @@ class SimReceiver:
             return {}
 
         self._write_param(image, _P_TAIL_PAIRS, (n_tail_pairs // 2) * 2)
-        run, image = self._run_region("sample reordering", image, build_reorder2, key=shape)
+        run, image = yield RegionRequest("sample reordering", image, build_reorder2, key=shape)
         pre.append(run)
 
         # -- fshift: coarse rotate of both antennas' HT-LTF region ----------
@@ -611,7 +658,7 @@ class SimReceiver:
         self._write_words(image, mem.PHTAB, table, size=8)
         for ant, src in enumerate([mem.ANT0, mem.ANT1]):
             self._write_param(image, _P_FSHIFT2_SRC[ant], src + 4 * ht_start)
-        run, image = self._run_region("fshift", image, build_fshift2, key=("ht",) + shape)
+        run, image = yield RegionRequest("fshift", image, build_fshift2, key=("ht",) + shape)
         pre.append(run)
 
         # -- freq offset compensation: fine recursive rotate ----------------
@@ -630,7 +677,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "freq offset compensation",
             image,
             build_freqcomp,
@@ -660,7 +707,7 @@ class SimReceiver:
                 self._emit_fft_stages(linker, dst)
             return {}
 
-        run, image = self._run_region("fft", image, build_fft_pre, key=("pre",) + shape)
+        run, image = yield RegionRequest("fft", image, build_fft_pre, key=("pre",) + shape)
         pre.append(run)
 
         # -- remove zero carriers: compact the four spectra ------------------
@@ -678,7 +725,7 @@ class SimReceiver:
                 vliw_kernels.emit_remove_zero_carriers(vb, grid, comp)
             return {}
 
-        run, image = self._run_region("remove zero carriers", image, build_rzc, key=shape)
+        run, image = yield RegionRequest("remove zero carriers", image, build_rzc, key=shape)
         pre.append(run)
 
         # -- SDM processing (preamble): P-matrix channel combining -----------
@@ -698,7 +745,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "SDM processing", image, build_chanest, key=("pre",) + shape
         )
         pre.append(run)
@@ -712,7 +759,7 @@ class SimReceiver:
             )
             return {}
 
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "equalize coeff calc", image, build_eqcoef, key=shape
         )
         pre.append(run)
@@ -759,7 +806,7 @@ class SimReceiver:
             return {}
 
         self._write_param(image, _P_DATA_SRC, mem.ANT0 + 4 * data_start)
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "fshift", image, build_data_fshift, key=("data",) + shape
         )
         data.append(run)
@@ -770,7 +817,7 @@ class SimReceiver:
                 self._emit_fft_stages(linker, mem.FFT0 if sym == 0 else mem.FFT2)
             return {}
 
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "fft", image, build_data_fft, key=("data",) + shape
         )
         data.append(run)
@@ -791,7 +838,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("data shuffle", image, build_shuffle, key=shape)
+        run, image = yield RegionRequest("data shuffle", image, build_shuffle, key=shape)
         data.append(run)
 
         # -- SDM processing ------------------------------------------------------
@@ -808,7 +855,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region(
+        run, image = yield RegionRequest(
             "SDM processing", image, build_data_sdm, key=("data",) + shape
         )
         data.append(run)
@@ -833,7 +880,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("tracking", image, build_tracking, key=shape)
+        run, image = yield RegionRequest("tracking", image, build_tracking, key=shape)
         data.append(run)
 
         # -- comp: CPE rotation + rescale to Q15/2 --------------------------------
@@ -855,7 +902,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("comp", image, build_comp, key=shape)
+        run, image = yield RegionRequest("comp", image, build_comp, key=shape)
         data.append(run)
 
         # -- demod QAM64 --------------------------------------------------------------
@@ -871,7 +918,7 @@ class SimReceiver:
                 )
             return {}
 
-        run, image = self._run_region("demod QAM64", image, build_demod, key=shape)
+        run, image = yield RegionRequest("demod QAM64", image, build_demod, key=shape)
         data.append(run)
 
         bits = self._unpack_bits(image, n_symbols)

@@ -12,10 +12,13 @@ shape).
 """
 
 from repro.runtime.batch import BatchReceiver, ModemRuntime, WorkerCrashError
+from repro.runtime.batched import BatchedModemRuntime, BatchPacketResult
 from repro.runtime.workload import PacketCase, generate_packets, make_packet
 
 __all__ = [
+    "BatchPacketResult",
     "BatchReceiver",
+    "BatchedModemRuntime",
     "ModemRuntime",
     "PacketCase",
     "WorkerCrashError",

@@ -127,6 +127,12 @@ def _worker_init(kwargs: Dict[str, object], cache_dir: Optional[str]) -> None:
     global _WORKER_RUNTIME
     if cache_dir is not None:
         configure_schedule_cache(cache_dir)
+    # A fork-started worker inherits the parent's runtime (pre-seeded by
+    # BatchReceiver.run_timed): if it was built with the same kwargs its
+    # linked region programs are already resident, so keep it instead of
+    # re-linking every region from the schedule cache per worker.
+    if _WORKER_RUNTIME is not None and _WORKER_RUNTIME._kwargs == kwargs:
+        return
     _WORKER_RUNTIME = ModemRuntime(**kwargs)
 
 
@@ -201,12 +207,27 @@ class BatchReceiver:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: stay correct, go serial
             return serial()
-        from repro.compiler.linker import schedule_cache_dir
 
         tasks = [(i, rx, n_symbols, detect_hint) for i, rx in enumerate(packets)]
         n_workers = min(self.workers, len(tasks))
         results: List[Optional[ReceiverOutput]] = [None] * len(tasks)
         timings: List[float] = [0.0] * len(tasks)
+        # Seed the module global so fork-started workers inherit THIS
+        # warm runtime (resident linked programs) rather than paying a
+        # fresh link per worker; _worker_init keeps the inherited one
+        # when the kwargs match.  Restored afterwards so nested/serial
+        # use of this process is unaffected.
+        global _WORKER_RUNTIME
+        prev_runtime = _WORKER_RUNTIME
+        _WORKER_RUNTIME = self.runtime
+        try:
+            return self._run_pool(ctx, n_workers, tasks, results, timings)
+        finally:
+            _WORKER_RUNTIME = prev_runtime
+
+    def _run_pool(self, ctx, n_workers, tasks, results, timings):
+        from repro.compiler.linker import schedule_cache_dir
+
         with ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=ctx,

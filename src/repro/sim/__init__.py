@@ -35,8 +35,12 @@ from repro.sim.program import (
     DstSel,
 )
 from repro.sim.core import Core, SimulationError
+from repro.sim.batch import BatchProgramRunner, LaneResult, run_batch
 
 __all__ = [
+    "BatchProgramRunner",
+    "LaneResult",
+    "run_batch",
     "ActivityStats",
     "KernelProfile",
     "RegisterFile",

@@ -56,6 +56,7 @@ from repro.isa.opcodes import (
 )
 from repro.isa.semantics import DATAFLOW_GROUPS, UNARY_SIMD, handler_for, operand_count
 from repro.sim import memops
+from repro.sim.memory import MemoryError_
 from repro.sim.program import CgaKernel, DstKind, SrcKind, SrcSel, VliwBundle
 from repro.trace.events import StallCause
 from repro.trace.tracer import get_tracer
@@ -73,7 +74,7 @@ _ABSENT = object()
 
 #: On-disk payload format version; bump when the generated-source shape
 #: or the call protocol of the generated functions changes.
-_DISK_FORMAT = 1
+_DISK_FORMAT = 3
 
 _SOURCE_CACHE: Dict[tuple, str] = {}
 _FN_CACHE: Dict[tuple, Callable] = {}
@@ -197,6 +198,84 @@ def _compiled_fn(key: tuple, source: str, fn_name: str, extra: Dict[str, object]
         fn = ns[fn_name]
         _FN_CACHE[key] = fn
     return fn
+
+
+# ----------------------------------------------------------------------
+# Inline memory model (batch mode only)
+# ----------------------------------------------------------------------
+#
+# The per-packet tier reaches the scratchpad through bound methods
+# (``Scratchpad.timed_read``/``timed_write``); the lane-batched tier
+# inlines the same semantics — bounds check, per-bank busy clocks,
+# conflict accounting — against per-lane ``_mem``/``_bank_next_free``
+# views, so the geometry constants baked into the source must appear in
+# the batch cache keys.  Counter locals (``n_l1r``/``n_l1w``/``n_bc``/
+# ``bc_stall``) are flushed to the lane's ActivityStats exactly once.
+
+
+def _emit_arbitrate(lines: List[str], ind: str, cycle_var: str,
+                    addr_expr: str, n_banks: int, first: bool) -> None:
+    """Inline ``Scratchpad._arbitrate``: serve at the bank's next free
+    cycle, push the bank clock, count a conflict when delayed."""
+    lines.append(ind + "bank = ((%s) >> 2) %% %d" % (addr_expr, n_banks))
+    lines.append(ind + "serve = BNF[bank]")
+    lines.append(ind + "if serve < %s:" % cycle_var)
+    lines.append(ind + "    serve = %s" % cycle_var)
+    lines.append(ind + "BNF[bank] = serve + 1")
+    if first:
+        lines.append(ind + "extra = serve - %s" % cycle_var)
+        lines.append(ind + "if extra > 0:")
+        lines.append(ind + "    n_bc += 1")
+        lines.append(ind + "    bc_stall += extra")
+    else:  # second word of a 64-bit access: delay is the max of both
+        lines.append(ind + "d2 = serve - %s" % cycle_var)
+        lines.append(ind + "if d2 > 0:")
+        lines.append(ind + "    n_bc += 1")
+        lines.append(ind + "    bc_stall += d2")
+        lines.append(ind + "    if d2 > extra:")
+        lines.append(ind + "        extra = d2")
+
+
+def _emit_bounds_check(lines: List[str], ind: str, size: int, mem_bytes: int) -> None:
+    # ``addr`` is pre-masked to 32 bits at every call site, so only the
+    # upper bound can fail (same observable behaviour as ``_check``).
+    lines.append(ind + "if addr + %d > %d:" % (size, mem_bytes))
+    lines.append(
+        ind + "    raise _ME('scratchpad access [%%d, %%d) outside %d bytes'"
+        " %% (addr, addr + %d))" % (mem_bytes, size)
+    )
+
+
+def _emit_inline_read(lines: List[str], ind: str, cycle_var: str, size: int,
+                      n_banks: int, mem_bytes: int, tally=None) -> None:
+    """Inline ``Scratchpad.timed_read``: leaves ``raw`` and ``extra``.
+
+    With *tally* (a counter dict), statically-known access counts are
+    accumulated there instead of emitting per-access increments."""
+    _emit_bounds_check(lines, ind, size, mem_bytes)
+    _emit_arbitrate(lines, ind, cycle_var, "addr", n_banks, True)
+    if size == 8:
+        _emit_arbitrate(lines, ind, cycle_var, "addr + 4", n_banks, False)
+    if tally is None:
+        lines.append(ind + "n_l1r += %d" % (1 if size <= 4 else 2))
+    else:
+        tally["n_l1r"] += 1 if size <= 4 else 2
+    lines.append(ind + "raw = _fb(M[addr:addr + %d], 'little')" % size)
+
+
+def _emit_inline_write(lines: List[str], ind: str, cycle_var: str, size: int,
+                       n_banks: int, mem_bytes: int, tally=None) -> None:
+    """Inline ``Scratchpad.timed_write`` of pre-masked ``v_st``; leaves
+    ``extra`` (the bank-conflict delay) for callers that account it."""
+    _emit_bounds_check(lines, ind, size, mem_bytes)
+    _emit_arbitrate(lines, ind, cycle_var, "addr", n_banks, True)
+    if size == 8:
+        _emit_arbitrate(lines, ind, cycle_var, "addr + 4", n_banks, False)
+    if tally is None:
+        lines.append(ind + "n_l1w += %d" % (1 if size <= 4 else 2))
+    else:
+        tally["n_l1w"] += 1 if size <= 4 else 2
+    lines.append(ind + "M[addr:addr + %d] = v_st.to_bytes(%d, 'little')" % (size, size))
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +441,9 @@ _SCALAR_EXPR = {
 _SWAP16_MASK = 0x0000FFFF0000FFFF
 #: Mask selecting lane 2 in place (for C4NEGB's untouched even lane).
 _LANE2_MASK = 0x0000FFFF00000000
+#: Per-lane sign bits / low-15-bit masks for the SWAR q15 add/sub path.
+_SIGN4 = 0x8000800080008000
+_LOW4 = 0x7FFF7FFF7FFF7FFF
 
 
 def _lane_s(x: str, i: int) -> str:
@@ -381,6 +463,42 @@ def _pack_sat(ts) -> str:
         part = "(%s & 65535)" % _sat(t)
         parts.append(part if i == 0 else "(%s << %d)" % (part, 16 * i))
     return " | ".join(parts)
+
+
+def _pack_sat_prod(ts) -> str:
+    """Pack q15 products: ``(a * b) >> 15`` of two signed 16-bit lanes
+    lies in [-32767, 32768], so only the upper clamp can fire."""
+    parts = []
+    for i, t in enumerate(ts):
+        part = "((32767 if %s > 32767 else %s) & 65535)" % (t, t)
+        parts.append(part if i == 0 else "(%s << %d)" % (part, 16 * i))
+    return " | ".join(parts)
+
+
+def _emit_swar_addsub(lines: List[str], ind: str, op: Opcode, target: str, a: str, b: str) -> None:
+    """Saturating 4x16 add/sub without unpacking (SIMD-within-a-register).
+
+    The wrapped per-lane sum/difference is computed with the classic
+    carry-isolation identity; overflowed lanes (sign of both inputs
+    equal — for SUB, of input and negated subtrahend — and different
+    from the result's) are then overwritten branchlessly with
+    ``0x7fff + sign(a)``, i.e. 0x7fff on positive and 0x8000 on
+    negative overflow.  Proven equivalent to the unpack/saturate/pack
+    form over the full edge grid in the differential suite.
+    """
+    if op is Opcode.C4ADD:
+        lines.append("%sf4 = (((%s) & %d) + ((%s) & %d)) ^ (((%s) ^ (%s)) & %d)"
+                     % (ind, a, _LOW4, b, _LOW4, a, b, _SIGN4))
+        lines.append("%so4 = (((%s) ^ f4) & ((%s) ^ f4)) & %d" % (ind, a, b, _SIGN4))
+    else:  # C4SUB
+        lines.append("%sf4 = ((((%s) | %d) - ((%s) & %d)) ^ (((%s) ^ (%s)) & %d)) ^ %d"
+                     % (ind, a, _SIGN4, b, _LOW4, a, b, _SIGN4, _SIGN4))
+        lines.append("%so4 = (((%s) ^ (%s)) & ((%s) ^ f4)) & %d" % (ind, a, b, a, _SIGN4))
+    lines.append("%sif o4:" % ind)
+    lines.append("%s    e4 = (o4 >> 15) * 65535" % ind)
+    lines.append("%s    f4 = (f4 ^ (f4 & e4)) | ((%d & e4) + (((%s) >> 15) & (o4 >> 15)))"
+                 % (ind, _LOW4, a))
+    lines.append("%s%s = f4" % (ind, target))
 
 
 def _emit_simd(lines: List[str], ind: str, op: Opcode, target: str, a: str, b: Optional[str]) -> None:
@@ -425,7 +543,9 @@ def _emit_simd(lines: List[str], ind: str, op: Opcode, target: str, a: str, b: O
             " | (%s & %d) | (((32767 if a3 == -32768 else -a3) & 65535) << 48)"
             % (ind, target, a, a, _LANE2_MASK)
         )
-    elif op in (Opcode.C4ADD, Opcode.C4SUB, Opcode.C4MAX, Opcode.C4MIN, Opcode.D4PROD, Opcode.C4PROD):
+    elif op in (Opcode.C4ADD, Opcode.C4SUB):
+        _emit_swar_addsub(lines, ind, op, target, a, b)
+    elif op in (Opcode.C4MAX, Opcode.C4MIN, Opcode.D4PROD, Opcode.C4PROD):
         for i in range(4):
             lines.append("%sa%d = %s" % (ind, i, _lane_s(a, i)))
             lines.append("%sb%d = %s" % (ind, i, _lane_s(b, i)))
@@ -445,18 +565,14 @@ def _emit_simd(lines: List[str], ind: str, op: Opcode, target: str, a: str, b: O
                 " | (((a3 if a3 < b3 else b3) & 65535) << 48)" % (ind, target)
             )
             return
-        if op is Opcode.C4ADD:
-            pairs = ["a%d + b%d" % (i, i) for i in range(4)]
-        elif op is Opcode.C4SUB:
-            pairs = ["a%d - b%d" % (i, i) for i in range(4)]
-        elif op is Opcode.D4PROD:
+        if op is Opcode.D4PROD:
             pairs = ["(a%d * b%d) >> 15" % (i, i) for i in range(4)]
         else:  # C4PROD: cross pairing |a1*b2|b1*a2|c1*d2|d1*c2|
             pairs = ["(a0 * b1) >> 15", "(a1 * b0) >> 15",
                      "(a2 * b3) >> 15", "(a3 * b2) >> 15"]
         for i, p in enumerate(pairs):
             lines.append("%st%d = %s" % (ind, i, p))
-        lines.append("%s%s = %s" % (ind, target, _pack_sat(["t%d" % i for i in range(4)])))
+        lines.append("%s%s = %s" % (ind, target, _pack_sat_prod(["t%d" % i for i in range(4)])))
     else:  # pragma: no cover - closed SIMD opcode set
         raise CodegenUnsupported("no inline template for %s" % op.value)
 
@@ -496,7 +612,9 @@ class _CgaGen:
     """Emits the specialized steady-state function of one kernel."""
 
     def __init__(self, kernel: CgaKernel, arch: CgaArchitecture, fault,
-                 cdrf_ports: Tuple[int, int], cprf_ports: Tuple[int, int]) -> None:
+                 cdrf_ports: Tuple[int, int], cprf_ports: Tuple[int, int],
+                 n_lanes: Optional[int] = None,
+                 trip: Optional[int] = None) -> None:
         self.kernel = kernel
         self.arch = arch
         self.fault = fault
@@ -504,6 +622,13 @@ class _CgaGen:
         self.cprf_ports = cprf_ports
         self.cdrf_mask = (1 << arch.cdrf.width) - 1
         self.cprf_mask = 1  # PredicateFile is 1-bit regardless of arch.cprf
+        self.n_lanes = n_lanes
+        self.batch = n_lanes is not None
+        #: Trip-count specialization (batch tier): with a concrete trip
+        #: the whole modulo schedule is compile-time, so the iteration
+        #: loop splits into unrolled prologue/epilogue slots and a
+        #: guard-free steady state.
+        self.trip = trip if (trip is not None and trip >= 1) else None
         self.pool, self.pool_index = _cga_pool_map(kernel)
         self.latch_fus = set()
         self.lrf_fus = set()
@@ -511,6 +636,8 @@ class _CgaGen:
         self.by_issue: Dict[int, List[_CgaChain]] = {}
         self.by_commit: Dict[int, List[_CgaChain]] = {}
         self._classify()
+        self.has_mem = any(rec.kind != "dataflow" for rec in self.ops)
+        self.has_load = any(rec.kind == "load" for rec in self.ops)
 
     # -- validation + classification (mirrors decode.decode_op) --------
 
@@ -651,36 +778,59 @@ class _CgaGen:
     # -- operand emission ----------------------------------------------
 
     def _base_read(self, lines: List[str], ind: str, sel: SrcSel, fu: int,
-                   imm_slot: Optional[int]) -> str:
+                   imm_slot: Optional[int], tally=None) -> str:
         """Statements for a source read's side effects; returns the value
-        expression.  Mirrors the decoded tier's reader closures."""
+        expression.  Mirrors the decoded tier's reader closures.  With
+        *tally*, unconditional access counts accumulate statically
+        instead of emitting per-read increments."""
         kind = sel.kind
         if kind is SrcKind.SELF:
             return "l_%d" % fu
         if kind is SrcKind.WIRE:
-            lines.append(ind + "n_itx += 1")
+            if tally is None:
+                lines.append(ind + "n_itx += 1")
+            else:
+                tally["n_itx"] += 1
             return "l_%d" % sel.value
         if kind is SrcKind.LRF:
-            lines.append(ind + "n_lrf_r += 1")
+            if tally is None:
+                lines.append(ind + "n_lrf_r += 1")
+            else:
+                tally["n_lrf_r"] += 1
             return "L%d[%d]" % (fu, sel.value)
         if kind is SrcKind.CDRF:
-            lines.append(ind + "n_cdrf_r += 1")
+            if tally is None:
+                lines.append(ind + "n_cdrf_r += 1")
+            else:
+                tally["n_cdrf_r"] += 1
             return "CD[%d]" % sel.value
         if kind is SrcKind.CPRF:
-            lines.append(ind + "n_cprf_r += 1")
+            if tally is None:
+                lines.append(ind + "n_cprf_r += 1")
+            else:
+                tally["n_cprf_r"] += 1
             return "CP[%d]" % sel.value
         return "imm_%d" % imm_slot
 
     def _read_operand(self, lines: List[str], ind: str, rec: _CgaChain,
                       role: str, i: Optional[int], sel: SrcSel,
-                      it_var: str, name: str) -> str:
+                      it_var: str, name: str, it0: Optional[bool] = None,
+                      tally=None) -> str:
         """Emit one operand read (phi-aware); returns a value expression.
 
         A phi (``sel.init is not None``) reads the initial immediate on
         iteration 0 without touching the base location (and without its
-        stats), exactly like the decoded reader."""
+        stats), exactly like the decoded reader.  *it0* resolves the
+        phi statically (trip-specialized emission): ``True`` means this
+        slot is the op's iteration 0, ``None`` keeps the runtime test on
+        *it_var*."""
         imm_slot, init_slot = self.pool_index[(rec.ci, rec.fu, role, i)]
         if sel.init is not None:
+            if it0 is not None:
+                if it0:
+                    return "imm_%d" % init_slot
+                return self._base_read(lines, ind, sel, rec.fu, imm_slot,
+                                       tally=tally)
             lines.append(ind + "if %s == 0:" % it_var)
             lines.append(ind + "    %s = imm_%d" % (name, init_slot))
             lines.append(ind + "else:")
@@ -689,20 +839,30 @@ class _CgaGen:
             lines.extend(sub)
             lines.append(ind + "    %s = %s" % (name, expr))
             return name
-        return self._base_read(lines, ind, sel, rec.fu, imm_slot)
+        return self._base_read(lines, ind, sel, rec.fu, imm_slot, tally=tally)
 
     # -- commit emission -----------------------------------------------
 
-    def _emit_dst(self, lines: List[str], ind: str, rec: _CgaChain, dst, val: str) -> None:
+    def _emit_dst(self, lines: List[str], ind: str, rec: _CgaChain, dst, val: str,
+                  tally=None) -> None:
         if dst.kind is DstKind.LRF:
             mask = (1 << self.arch.fus[rec.fu].local_rf.width) - 1
-            lines.append(ind + "n_lrf_w += 1")
+            if tally is None:
+                lines.append(ind + "n_lrf_w += 1")
+            else:
+                tally["n_lrf_w"] += 1
             lines.append(ind + "L%d[%d] = %s & %d" % (rec.fu, dst.index, val, mask))
         elif dst.kind is DstKind.CDRF:
-            lines.append(ind + "n_cdrf_w += 1")
+            if tally is None:
+                lines.append(ind + "n_cdrf_w += 1")
+            else:
+                tally["n_cdrf_w"] += 1
             lines.append(ind + "CD[%d] = %s & %d" % (dst.index, val, self.cdrf_mask))
         else:
-            lines.append(ind + "n_cprf_w += 1")
+            if tally is None:
+                lines.append(ind + "n_cprf_w += 1")
+            else:
+                tally["n_cprf_w"] += 1
             lines.append(ind + "CP[%d] = %s & %d" % (dst.index, val, self.cprf_mask))
 
     def _emit_commit_writes(self, lines: List[str], ind: str, rec: _CgaChain,
@@ -744,14 +904,16 @@ class _CgaGen:
 
     # -- issue emission ------------------------------------------------
 
-    def _emit_execute(self, lines: List[str], ind: str, rec: _CgaChain, it_var: str) -> None:
+    def _emit_execute(self, lines: List[str], ind: str, rec: _CgaChain, it_var: str,
+                      it0: Optional[bool] = None, tally=None) -> None:
         op = rec.op
         if rec.kind == "dataflow":
             arity = operand_count(op.opcode)
             names = []
             for i, sel in enumerate(op.srcs):
                 name = "ab"[i] if i < 2 else "x%d" % i
-                names.append(self._read_operand(lines, ind, rec, "src", i, sel, it_var, name))
+                names.append(self._read_operand(lines, ind, rec, "src", i, sel,
+                                                it_var, name, it0=it0, tally=tally))
             target = "w%d_%d" % (rec.oid, rec.n - 1)
             if rec.group in (OpGroup.SIMD1, OpGroup.SIMD2):
                 a = names[0]
@@ -770,7 +932,8 @@ class _CgaGen:
                 lines.append(ind + "%s = %s" % (target, _SCALAR_EXPR[op.opcode](use[0], use[1])))
             return
         info = memops.mem_info(op.opcode)
-        base = self._read_operand(lines, ind, rec, "src", 0, op.srcs[0], it_var, "a")
+        base = self._read_operand(lines, ind, rec, "src", 0, op.srcs[0], it_var, "a",
+                                  it0=it0, tally=tally)
         off_sel = op.srcs[1]
         off_slot, _ = self.pool_index[(rec.ci, rec.fu, "src", 1)]
         if off_sel.kind is SrcKind.IMM and off_sel.init is None:
@@ -778,13 +941,19 @@ class _CgaGen:
                 "%saddr = (((%s) & 4294967295) + imm_%d) & 4294967295" % (ind, base, off_slot)
             )
         else:
-            off = self._read_operand(lines, ind, rec, "src", 1, off_sel, it_var, "b")
+            off = self._read_operand(lines, ind, rec, "src", 1, off_sel, it_var, "b",
+                                     it0=it0, tally=tally)
             lines.append(
                 "%saddr = (((%s) & 4294967295) + ((%s) & 4294967295)) & 4294967295"
                 % (ind, base, off)
             )
         if rec.kind == "load":
-            lines.append(ind + "raw, extra = timed_read(physical, addr, %d)" % info.size)
+            if self.batch:
+                _emit_inline_read(lines, ind, "physical", info.size,
+                                  self.arch.l1.banks, self.arch.l1.bytes,
+                                  tally=tally)
+            else:
+                lines.append(ind + "raw, extra = timed_read(physical, addr, %d)" % info.size)
             lines.append(ind + "stall_offset += extra")
             target = "w%d_%d" % (rec.oid, rec.n - 1)
             if info.size == 8:
@@ -795,18 +964,31 @@ class _CgaGen:
             else:
                 lines.append(ind + "%s = raw & %d" % (target, (1 << (info.size * 8)) - 1))
         else:  # store: no latch, no commit chain
-            sv = self._read_operand(lines, ind, rec, "src", 2, op.srcs[2], it_var, "c")
+            sv = self._read_operand(lines, ind, rec, "src", 2, op.srcs[2], it_var, "c",
+                                    it0=it0, tally=tally)
             mask = (1 << (info.size * 8)) - 1
-            lines.append(
-                "%sstall_offset += timed_write(physical, addr, (%s) & %d, %d)"
-                % (ind, sv, mask, info.size)
-            )
+            if self.batch:
+                lines.append(ind + "v_st = (%s) & %d" % (sv, mask))
+                _emit_inline_write(lines, ind, "physical", info.size,
+                                   self.arch.l1.banks, self.arch.l1.bytes,
+                                   tally=tally)
+                lines.append(ind + "stall_offset += extra")
+            else:
+                lines.append(
+                    "%sstall_offset += timed_write(physical, addr, (%s) & %d, %d)"
+                    % (ind, sv, mask, info.size)
+                )
 
-    def _emit_issue(self, lines: List[str], ind: str, rec: _CgaChain, it_var: str) -> None:
+    def _emit_issue(self, lines: List[str], ind: str, rec: _CgaChain, it_var: str,
+                    it0: Optional[bool] = None, tally=None) -> None:
         op = rec.op
         body = ind
+        body_tally = tally
         if op.pred is not None:
-            pexpr = self._read_operand(lines, ind, rec, "pred", None, op.pred, it_var, "pv")
+            # The predicate read itself is unconditional; the op body is
+            # data-dependent, so its accounting stays inline.
+            pexpr = self._read_operand(lines, ind, rec, "pred", None, op.pred,
+                                       it_var, "pv", it0=it0, tally=tally)
             if op.pred_negate:
                 lines.append(ind + "if (%s) & 1:" % pexpr)
             else:
@@ -814,44 +996,221 @@ class _CgaGen:
             lines.append(ind + "    squashed += 1")
             lines.append(ind + "else:")
             body = ind + "    "
-            lines.append(body + "fu_ops[%d] += %d" % (rec.fu, rec.weight))
-            lines.append(body + "op_groups[_G_%s] += %d" % (rec.group.name, rec.weight))
+            body_tally = None
+            lines.append(body + "n_fu%d += %d" % (rec.fu, rec.weight))
+            lines.append(body + "n_g_%s += %d" % (rec.group.name, rec.weight))
             lines.append(body + "pred_weight += %d" % rec.weight)
-        self._emit_execute(lines, body, rec, it_var)
+        self._emit_execute(lines, body, rec, it_var, it0=it0, tally=body_tally)
 
     # -- whole-function assembly ---------------------------------------
 
     def generate(self) -> str:
+        lines: List[str] = []
+        lines.append(
+            "def _cga_run(trip, start_cycle, preload_cycles, imms, out_latch, CD, CP,"
+            " local_rfs, stats, timed_read, timed_write):"
+        )
+        self._emit_lane(lines, "    ", "return %s")
+        return "\n".join(lines) + "\n"
+
+    def generate_batch(self) -> str:
+        """Lane-batched variant: one function advancing ``n_lanes``
+        packets' steady-state windows back to back through
+        structure-of-arrays arguments, with the scratchpad model inlined
+        against per-lane byte views and bank clocks.  A lane that
+        faults lands its exception in ``faults[lane]`` — its partial
+        state is unusable (deferred counters are lost) and the caller
+        must re-run that lane per-packet from scratch — while the
+        remaining lanes complete normally."""
+        lines: List[str] = []
+        w = lines.append
+        w("def _cga_run_batch(trips, start_cycles, preload_cycles_s, imms_s,"
+          " out_latch_s, CD_s, CP_s, local_rfs_s, mem_s, stats_s, ends, faults):")
+        if self.has_load:
+            w("    _fb = int.from_bytes")
+        w("    for _b in range(%d):" % self.n_lanes)
+        w("        try:")
+        ind = "            "
+        w(ind + "trip = trips[_b]")
+        w(ind + "start_cycle = start_cycles[_b]")
+        w(ind + "preload_cycles = preload_cycles_s[_b]")
+        w(ind + "imms = imms_s[_b]")
+        w(ind + "out_latch = out_latch_s[_b]")
+        w(ind + "CD = CD_s[_b]")
+        w(ind + "CP = CP_s[_b]")
+        w(ind + "local_rfs = local_rfs_s[_b]")
+        w(ind + "stats = stats_s[_b]")
+        if self.has_mem:
+            w(ind + "_sp = mem_s[_b]")
+            w(ind + "M = _sp._mem")
+            w(ind + "BNF = _sp._bank_next_free")
+        self._emit_lane(lines, ind, "ends[_b] = %s")
+        w("        except _ME as exc:")
+        w("            faults[_b] = exc")
+        return "\n".join(lines) + "\n"
+
+    # -- trip-specialized emission (batch tier) ------------------------
+    #
+    # When the batch driver groups lanes it already keys on the resolved
+    # trip count, so the batch function may legally bake the trip into
+    # the source.  With a concrete trip the entire modulo schedule is
+    # compile-time: which stages are active, whether a latch chain holds
+    # a value, whether an operand is in its phi iteration and whether a
+    # ``last_iteration_only`` write fires all become functions of the
+    # slot index alone.  The iteration space then splits into unrolled
+    # prologue/epilogue slots (each emitted with its static schedule
+    # state) around a guard-free steady-state loop, and every
+    # statically-known access count is hoisted out of the loop into one
+    # closed-form adjustment (``tally``).
+
+    _TALLY_KEYS = ("n_cdrf_r", "n_cdrf_w", "n_cprf_r", "n_cprf_w",
+                   "n_lrf_r", "n_lrf_w", "n_itx", "n_l1r", "n_l1w")
+
+    def _spec_plan(self) -> Optional[Tuple[int, int, int]]:
+        """``(T, lo, hi)``: total slots and the inclusive steady-state
+        window where every op issues, every chain commits a present
+        value, no phi initializes and no last-iteration write fires.
+        ``None`` when specialization isn't worthwhile."""
+        if not self.ops:
+            return None
+        trip = self.trip
+        T = trip + self.kernel.stage_count - 1
+        lo, hi = 0, T - 1
+        for rec in self.ops:
+            sels = ([] if rec.op.pred is None else [rec.op.pred]) + list(rec.op.srcs)
+            has_phi = any(sel.init is not None for sel in sels)
+            lo = max(lo, rec.stage + (1 if has_phi else 0))
+            hi = min(hi, rec.stage + trip - 1)
+            if rec.kind != "store":
+                lo = max(lo, rec.stage + rec.delta)
+                if any(d.last_iteration_only for d in rec.op.dsts):
+                    hi = min(hi, trip - 2 + rec.delta + rec.stage)
+        if lo > hi:
+            lo, hi = T, T - 1  # no steady window: everything unrolls
+        if lo + (T - 1 - hi) > 192:
+            return None  # bound generated-code size for degenerate shapes
+        return (T, lo, hi)
+
+    def _issue_active(self, rec: _CgaChain, I: int) -> bool:
+        return rec.stage <= I <= rec.stage + self.trip - 1
+
+    def _chain_occupied(self, rec: _CgaChain, I: int) -> bool:
+        """Could any shift register hold a value during slot *I*'s commit
+        phase?  (The issue of slot I has already run when the chain's
+        commit context follows its issue context.)"""
+        last_t = I if rec.q > rec.ci else I - 1
+        lower = max(rec.stage, I - rec.delta)
+        upper = min(rec.stage + self.trip - 1, last_t)
+        return upper >= lower
+
+    def _emit_commit_writes_spec(self, lines: List[str], ind: str,
+                                 rec: _CgaChain, val: str,
+                                 lastonly_now: bool, tally) -> None:
+        lines.append(ind + "l_%d = %s" % (rec.fu, val))
+        for d in rec.op.dsts:
+            if d.last_iteration_only and not lastonly_now:
+                continue
+            self._emit_dst(lines, ind, rec, d, val, tally=tally)
+
+    def _emit_commit_spec(self, lines: List[str], ind: str, rec: _CgaChain,
+                          I: Optional[int], tally) -> None:
+        """Commit phase of one chain at a static slot (*I*) or in the
+        steady state (``I is None``): presence, shift liveness and the
+        last-iteration check are all compile-time; predicated chains
+        keep the runtime ``_A`` test (a squash leaves the latch empty)."""
+        oid, n = rec.oid, rec.n
+        trip = self.trip
+        steady = I is None
+        present = steady or (rec.stage + rec.delta <= I
+                             <= rec.stage + rec.delta + trip - 1)
+        lastonly_now = (not steady) and I == trip - 1 + rec.delta + rec.stage
+        # The tail register need not be cleared when the next write to it
+        # (this slot's issue, or next slot's when the issue context
+        # precedes the commit context) deterministically lands first.
+        if rec.q > rec.ci:
+            ov_slot = (0 if steady else I) + 1
+            overwrite = rec.op.pred is None and (
+                (steady and self._spec_hi + 1 <= rec.stage + trip - 1)
+                or (not steady and self._issue_active(rec, ov_slot)))
+        else:
+            overwrite = rec.op.pred is None and (
+                steady or self._issue_active(rec, I))
+        w = lines.append
+        if rec.op.pred is None:
+            if present:
+                self._emit_commit_writes_spec(lines, ind, rec, "w%d_0" % oid,
+                                              lastonly_now, tally)
+            for j in range(n - 1):
+                w(ind + "w%d_%d = w%d_%d" % (oid, j, oid, j + 1))
+            if not overwrite:
+                w(ind + "w%d_%d = _A" % (oid, n - 1))
+        else:
+            if present:
+                w(ind + "v = w%d_0" % oid)
+            for j in range(n - 1):
+                w(ind + "w%d_%d = w%d_%d" % (oid, j, oid, j + 1))
+            w(ind + "w%d_%d = _A" % (oid, n - 1))
+            if present:
+                w(ind + "if v is not _A:")
+                self._emit_commit_writes_spec(lines, ind + "    ", rec, "v",
+                                              lastonly_now, None)
+
+    def _emit_slot_spec(self, lines: List[str], ind: str, I: Optional[int],
+                        tally) -> None:
+        ii = self.kernel.ii
+        steady = I is None
+        w = lines.append
+        for p in range(ii):
+            commits = self.by_commit.get(p, [])
+            issues = self.by_issue.get(p, [])
+            live = [r for r in commits if steady or self._chain_occupied(r, I)]
+            active = [r for r in issues if steady or self._issue_active(r, I)]
+            if not live and not active:
+                continue
+            for rec in live:
+                self._emit_commit_spec(lines, ind, rec, I, tally)
+            if any(r.kind != "dataflow" for r in active):
+                if steady:
+                    w(ind + "physical = start_cycle + iter_slot * %d + %d"
+                      " + stall_offset" % (ii, p))
+                else:
+                    w(ind + "physical = start_cycle + %d + stall_offset"
+                      % (I * ii + p))
+            for rec in active:
+                it0 = False if steady else (I == rec.stage)
+                self._emit_issue(lines, ind, rec, "iter_slot", it0=it0,
+                                 tally=tally)
+
+    def _emit_body_spec(self, lines: List[str], ind: str,
+                        plan: Tuple[int, int, int]) -> Dict[str, int]:
+        T, lo, hi = plan
+        self._spec_hi = hi
+        tally = dict.fromkeys(self._TALLY_KEYS, 0)
+        w = lines.append
+        for I in range(min(lo, T)):
+            w(ind + "# slot %d" % I)
+            self._emit_slot_spec(lines, ind, I, tally)
+        if lo <= hi:
+            steady = dict.fromkeys(self._TALLY_KEYS, 0)
+            w(ind + "for iter_slot in range(%d, %d):" % (lo, hi + 1))
+            mark = len(lines)
+            self._emit_slot_spec(lines, ind + "    ", None, steady)
+            if len(lines) == mark:
+                w(ind + "    pass")
+            count = hi - lo + 1
+            for key in tally:
+                tally[key] += steady[key] * count
+        for I in range(max(lo, hi + 1), T):
+            w(ind + "# slot %d" % I)
+            self._emit_slot_spec(lines, ind, I, tally)
+        return tally
+
+    def _emit_body_generic(self, lines: List[str], ind: str) -> None:
+        """The runtime-guarded iteration loop (dynamic trip count)."""
         k = self.kernel
         ii = k.ii
         k1 = k.stage_count - 1
-        lines: List[str] = []
         w = lines.append
-        w("def _cga_run(trip, start_cycle, preload_cycles, imms, out_latch, CD, CP,"
-          " local_rfs, stats, timed_read, timed_write):")
-        ind = "    "
-        n_imms = len(self.pool)
-        if n_imms == 1:
-            w(ind + "imm_0 = imms[0]")
-        elif n_imms > 1:
-            w(ind + ", ".join("imm_%d" % i for i in range(n_imms)) + " = imms")
-        for fu in sorted(self.lrf_fus):
-            w(ind + "L%d = local_rfs[%d]._regs" % (fu, fu))
-        w(ind + "fu_ops = stats.fu_ops")
-        w(ind + "op_groups = stats.op_groups")
-        w(ind + "last_iter = trip - 1")
-        for fu in sorted(self.latch_fus):
-            w(ind + "l_%d = 0" % fu)
-        for rec in self.ops:
-            if rec.kind == "store":
-                continue
-            for j in range(rec.n):
-                w(ind + "w%d_%d = _A" % (rec.oid, j))
-        w(ind + "stall_offset = 0")
-        w(ind + "n_cdrf_r = n_cdrf_w = n_cprf_r = n_cprf_w = n_lrf_r = n_lrf_w = n_itx = 0")
-        w(ind + "squashed = 0")
-        w(ind + "pred_weight = 0")
-        w(ind + "drain = 0")
         w(ind + "for iter_slot in range(trip + %d):" % k1)
         bind = ind + "    "
         loop_mark = len(lines)
@@ -884,6 +1243,65 @@ class _CgaGen:
                     self._emit_issue(lines, bind + "    ", rec, it_var)
         if len(lines) == loop_mark:
             w(bind + "pass")
+
+    # -- lane assembly --------------------------------------------------
+
+    def _emit_lane(self, lines: List[str], ind: str, result_tmpl: str) -> None:
+        k = self.kernel
+        ii = k.ii
+        k1 = k.stage_count - 1
+        w = lines.append
+        plan = self._spec_plan() if self.trip is not None else None
+        n_imms = len(self.pool)
+        if n_imms == 1:
+            w(ind + "imm_0 = imms[0]")
+        elif n_imms > 1:
+            w(ind + ", ".join("imm_%d" % i for i in range(n_imms)) + " = imms")
+        for fu in sorted(self.lrf_fus):
+            w(ind + "L%d = local_rfs[%d]._regs" % (fu, fu))
+        # Predicated ops tally issue counters per iteration: keep those
+        # in one integer local per FU / op group and flush them with the
+        # closed-form (unpredicated) totals in the epilogue.
+        pred_fus: List[int] = []
+        pred_groups: List[str] = []
+        for rec in self.ops:
+            if rec.op.pred is None:
+                continue
+            if rec.fu not in pred_fus:
+                pred_fus.append(rec.fu)
+            if rec.group.name not in pred_groups:
+                pred_groups.append(rec.group.name)
+        pred_fus.sort()
+        if pred_fus:
+            w(ind + " = ".join("n_fu%d" % fu for fu in pred_fus) + " = 0")
+        if pred_groups:
+            w(ind + " = ".join("n_g_%s" % g for g in pred_groups) + " = 0")
+        if plan is not None:
+            # The driver passes matching trips; the baked value wins.
+            w(ind + "trip = %d" % self.trip)
+        else:
+            w(ind + "last_iter = trip - 1")
+        for fu in sorted(self.latch_fus):
+            w(ind + "l_%d = 0" % fu)
+        for rec in self.ops:
+            if rec.kind == "store":
+                continue
+            for j in range(rec.n):
+                w(ind + "w%d_%d = _A" % (rec.oid, j))
+        w(ind + "stall_offset = 0")
+        w(ind + "n_cdrf_r = n_cdrf_w = n_cprf_r = n_cprf_w = n_lrf_r = n_lrf_w = n_itx = 0")
+        if self.batch and self.has_mem:
+            w(ind + "n_l1r = n_l1w = n_bc = bc_stall = 0")
+        w(ind + "squashed = 0")
+        w(ind + "pred_weight = 0")
+        w(ind + "drain = 0")
+        if plan is not None:
+            tally = self._emit_body_spec(lines, ind, plan)
+            for name in self._TALLY_KEYS:
+                if tally[name]:
+                    w(ind + "%s += %d" % (name, tally[name]))
+        else:
+            self._emit_body_generic(lines, ind)
         entries = self._drain_entries()
         if entries:
             w(ind + "# drain: commits still in flight past the last context")
@@ -908,6 +1326,13 @@ class _CgaGen:
             else:
                 hard.append(rec)
         w(ind + "unpred = %d * trip" % easy_total)
+        if easy_fu or hard or pred_fus:
+            w(ind + "fu_ops = stats.fu_ops")
+            w(ind + "op_groups = stats.op_groups")
+        for fu in pred_fus:
+            w(ind + "fu_ops[%d] += n_fu%d" % (fu, fu))
+        for g in pred_groups:
+            w(ind + "op_groups[_G_%s] += n_g_%s" % (g, g))
         for fu in sorted(easy_fu):
             w(ind + "fu_ops[%d] += %d * trip" % (fu, easy_fu[fu]))
         for g in sorted(easy_g, key=lambda g: g.name):
@@ -930,11 +1355,15 @@ class _CgaGen:
         w(ind + "stats.squashed_ops += squashed")
         w(ind + "stats.config_words += %d * total_logical" % k.context_words)
         w(ind + "stats.cga_cycles += preload_cycles + total_logical + drain + stall_offset")
+        if self.batch and self.has_mem:
+            w(ind + "stats.l1_reads += n_l1r")
+            w(ind + "stats.l1_writes += n_l1w")
+            w(ind + "stats.l1_bank_conflicts += n_bc")
+            w(ind + "stats.l1_conflict_stall_cycles += bc_stall")
         w(ind + "stats.add_stall(_BC, stall_offset)")
         for fu in sorted(self.latch_fus):
             w(ind + "out_latch[%d] = l_%d" % (fu, fu))
-        w(ind + "return start_cycle + total_logical + stall_offset + drain")
-        return "\n".join(lines) + "\n"
+        w(ind + result_tmpl % "start_cycle + total_logical + stall_offset + drain")
 
 
 def cga_runner(kernel: CgaKernel, arch: CgaArchitecture, fault,
@@ -956,6 +1385,41 @@ def cga_runner(kernel: CgaKernel, arch: CgaArchitecture, fault,
     source = _cached_source(key, "cga", kernel.name, gen)
     fn = _compiled_fn(key, source, "_cga_run", {})
     return fn, cga_imms(kernel)
+
+
+def cga_batch_runner(kernel: CgaKernel, arch: CgaArchitecture, fault,
+                     cdrf_ports: Tuple[int, int], cprf_ports: Tuple[int, int],
+                     n_lanes: int, trip: Optional[int] = None):
+    """Return the lane-batched steady-state function for *kernel*.
+
+    Same contracts as :func:`cga_runner`, but the compiled function
+    advances ``n_lanes`` packets per call through structure-of-arrays
+    arguments (``trips``, per-lane immediate pools, per-lane register
+    backing lists, per-lane scratchpads) and the batch width joins the
+    cache key — the L1 geometry it inlines is already covered by
+    ``arch.fingerprint()``.  Per-lane pools come from :func:`cga_imms`
+    of each ``patch_constants`` variant, so every lane shares this one
+    compile.  Lanes must have ``trip >= 1``; the caller filters the
+    rest.  Faulted lanes (``faults[lane]`` set) carry unusable partial
+    state and must be re-run per-packet from scratch.
+
+    With *trip* (the batch driver groups lanes by resolved trip count
+    anyway) the function is additionally specialized on the trip: the
+    schedule guards disappear into unrolled prologue/epilogue slots
+    around a guard-free steady-state loop.  The trip joins the cache
+    key; trips per kernel come from a small fixed set (the region
+    programs bake them in), so the key space stays bounded.
+    """
+    key = ("cga-batch", arch.fingerprint(), int(n_lanes),
+           None if trip is None else int(trip), cga_signature(kernel))
+
+    def gen() -> str:
+        return _CgaGen(kernel, arch, fault, cdrf_ports, cprf_ports,
+                       n_lanes=int(n_lanes),
+                       trip=None if trip is None else int(trip)).generate_batch()
+
+    source = _cached_source(key, "cga-batch", kernel.name, gen)
+    return _compiled_fn(key, source, "_cga_run_batch", {"_ME": MemoryError_})
 
 
 # ----------------------------------------------------------------------
@@ -1051,7 +1515,9 @@ class _VliwGen:
     """Emits the straight-line function of one branch-free segment."""
 
     def __init__(self, bundles, start_pc: int, end_pc: int, slot_fus,
-                 cdrf, cprf, fault) -> None:
+                 cdrf, cprf, fault, l1_geom: Optional[Tuple[int, int]] = None,
+                 icache_geom: Optional[Tuple[int, int, int]] = None,
+                 n_lanes: Optional[int] = None) -> None:
         self.bundles = bundles
         self.start_pc = start_pc
         self.end_pc = end_pc
@@ -1060,8 +1526,16 @@ class _VliwGen:
         self.ports = (cdrf.read_ports, cdrf.write_ports,
                       cprf.read_ports, cprf.write_ports)
         self.fault = fault
+        self.l1_geom = l1_geom  # (n_banks, size_bytes); batch mode only
+        self.icache_geom = icache_geom  # (n_lines, bundles_per_line, miss_penalty)
+        self.n_lanes = n_lanes
+        self.batch = n_lanes is not None
         self.pool, self.pool_index = _vliw_pool_map(bundles, start_pc, end_pc)
         self.wb_counter = 0
+        groups = [group_of(inst.opcode)
+                  for _pc, _slot, inst in _iter_vliw_sites(bundles, start_pc, end_pc)]
+        self.has_mem = any(g in (OpGroup.LDMEM, OpGroup.STMEM) for g in groups)
+        self.has_load = OpGroup.LDMEM in groups
 
     # -- operand helpers -----------------------------------------------
 
@@ -1127,8 +1601,8 @@ class _VliwGen:
             lines.append(ind + "    squashed += 1")
             lines.append(ind + "else:")
             body = ind + "    "
-        lines.append(body + "fu_ops[%d] += %d" % (fu, weight))
-        lines.append(body + "op_groups[_G_%s] += %d" % (group.name, weight))
+        lines.append(body + "n_fu%d += %d" % (fu, weight))
+        lines.append(body + "n_g_%s += %d" % (group.name, weight))
         lines.append(body + "vliw_ops += %d" % weight)
         if group in DATAFLOW_GROUPS:
             arity = operand_count(inst.opcode)
@@ -1172,7 +1646,10 @@ class _VliwGen:
                     body + "addr = (((%s) & 4294967295) + ((%s) & 4294967295)) & 4294967295"
                     % (base, offx)
                 )
-            lines.append(body + "raw, extra = timed_read(cycle, addr, %d)" % info.size)
+            if self.batch:
+                _emit_inline_read(lines, body, "cycle", info.size, *self.l1_geom)
+            else:
+                lines.append(body + "raw, extra = timed_read(cycle, addr, %d)" % info.size)
             if wb is None:
                 return
             target = wb["var"]
@@ -1197,9 +1674,15 @@ class _VliwGen:
             )
             sv = self._read(lines, body, pc, slot, 2, inst.srcs[2])
             mask = (1 << (info.size * 8)) - 1
-            lines.append(
-                body + "timed_write(cycle, addr, (%s) & %d, %d)" % (sv, mask, info.size)
-            )
+            if self.batch:
+                # The write's conflict delay is ignored in VLIW mode
+                # (same as the per-packet call discarding the return).
+                lines.append(body + "v_st = (%s) & %d" % (sv, mask))
+                _emit_inline_write(lines, body, "cycle", info.size, *self.l1_geom)
+            else:
+                lines.append(
+                    body + "timed_write(cycle, addr, (%s) & %d, %d)" % (sv, mask, info.size)
+                )
         elif group is OpGroup.BRANCH:
             latency = latency_of(inst.opcode)
             lines.append(body + "taken = True")
@@ -1242,17 +1725,106 @@ class _VliwGen:
 
     def generate(self) -> str:
         lines: List[str] = []
+        lines.append(
+            "def _vliw_run(start_cycle, max_cycle, imms, CD, CP, reg_ready, pred_ready,"
+            " icache_fetch, timed_read, timed_write, stats, tracer):"
+        )
+        self._emit_lane(lines, "    ")
+        lines.append("    return stop, next_pc, cycle")
+        return "\n".join(lines) + "\n"
+
+    def generate_batch(self) -> str:
+        """Lane-batched variant of :meth:`generate`: structure-of-arrays
+        arguments, the scratchpad *and* the instruction cache inlined
+        (per-lane tag lists with compile-time line index/tag constants),
+        tracer hooks dropped — the batch driver requires tracing
+        disabled.  Per-lane results land in ``stops``/``next_pcs``/
+        ``cycles_out``; a faulting lane lands its exception in
+        ``faults[lane]`` (partial state unusable, re-run per-packet)
+        while the remaining lanes complete."""
+        lines: List[str] = []
         w = lines.append
-        w("def _vliw_run(start_cycle, max_cycle, imms, CD, CP, reg_ready, pred_ready,"
-          " icache_fetch, timed_read, timed_write, stats, tracer):")
-        ind = "    "
+        w("def _vliw_run_batch(start_cycles, max_cycle, imms_s, CD_s, CP_s,"
+          " reg_ready_s, pred_ready_s, icache_s, mem_s, stats_s,"
+          " stops, next_pcs, cycles_out, faults):")
+        if self.has_load:
+            w("    _fb = int.from_bytes")
+        w("    for _b in range(%d):" % self.n_lanes)
+        w("        try:")
+        ind = "            "
+        w(ind + "start_cycle = start_cycles[_b]")
+        w(ind + "imms = imms_s[_b]")
+        w(ind + "CD = CD_s[_b]")
+        w(ind + "CP = CP_s[_b]")
+        w(ind + "reg_ready = reg_ready_s[_b]")
+        w(ind + "pred_ready = pred_ready_s[_b]")
+        w(ind + "IT = icache_s[_b]._tags")
+        w(ind + "stats = stats_s[_b]")
+        if self.has_mem:
+            w(ind + "_sp = mem_s[_b]")
+            w(ind + "M = _sp._mem")
+            w(ind + "BNF = _sp._bank_next_free")
+        self._emit_lane(lines, ind)
+        w(ind + "stops[_b] = stop")
+        w(ind + "next_pcs[_b] = next_pc")
+        w(ind + "cycles_out[_b] = cycle")
+        w("        except _BF as exc:")
+        w("            faults[_b] = exc")
+        return "\n".join(lines) + "\n"
+
+    def _emit_fetch(self, lines: List[str], bind: str, pc: int) -> None:
+        """Instruction fetch: a bound-method call per-packet, the cache
+        probe inlined with compile-time index/tag constants in batch
+        mode (``pc`` is a literal, so both are)."""
+        w = lines.append
+        if not self.batch:
+            w(bind + "miss = icache_fetch(%d, cycle)" % pc)
+            w(bind + "if miss:")
+            w(bind + "    add_stall(_IC, miss)")
+            w(bind + "    vliw_cycles += miss")
+            w(bind + "    cycle += miss")
+            return
+        n_lines_, bundles_per_line, penalty = self.icache_geom
+        line_addr = pc // bundles_per_line
+        index = line_addr % n_lines_
+        tag = line_addr // n_lines_
+        w(bind + "if IT[%d] == %d:" % (index, tag))
+        w(bind + "    n_ic_h += 1")
+        w(bind + "else:")
+        w(bind + "    IT[%d] = %d" % (index, tag))
+        w(bind + "    n_ic_m += 1")
+        if penalty > 0:
+            w(bind + "    add_stall(_IC, %d)" % penalty)
+            w(bind + "    vliw_cycles += %d" % penalty)
+            w(bind + "    cycle += %d" % penalty)
+
+    def _emit_lane(self, lines: List[str], ind: str) -> None:
+        w = lines.append
         n_imms = len(self.pool)
         if n_imms == 1:
             w(ind + "imm_0 = imms[0]")
         elif n_imms > 1:
             w(ind + ", ".join("imm_%d" % i for i in range(n_imms)) + " = imms")
-        w(ind + "fu_ops = stats.fu_ops")
-        w(ind + "op_groups = stats.op_groups")
+        # Issue counters accumulate in one integer local per FU / op
+        # group the segment can touch and flush once in the epilogue: a
+        # dict update per issued op is the dominant cost of a warm lane.
+        used_fus: List[int] = []
+        used_groups: List[str] = []
+        for pc in range(self.start_pc, self.end_pc):
+            for slot, inst in enumerate(self.bundles[pc]):
+                if inst is None or inst.opcode is Opcode.NOP:
+                    continue
+                fu = self.slot_fus[slot] if slot < len(self.slot_fus) else slot
+                if fu not in used_fus:
+                    used_fus.append(fu)
+                gname = group_of(inst.opcode).name
+                if gname not in used_groups:
+                    used_groups.append(gname)
+        used_fus.sort()
+        if used_fus:
+            w(ind + " = ".join("n_fu%d" % fu for fu in used_fus) + " = 0")
+        if used_groups:
+            w(ind + " = ".join("n_g_%s" % g for g in used_groups) + " = 0")
         w(ind + "add_stall = stats.add_stall")
         w(ind + "rrg = reg_ready.get")
         w(ind + "prg = pred_ready.get")
@@ -1261,6 +1833,10 @@ class _VliwGen:
         w(ind + "vliw_ops = 0")
         w(ind + "squashed = 0")
         w(ind + "n_cdrf_r = n_cdrf_w = n_cprf_r = n_cprf_w = 0")
+        if self.batch:
+            if self.has_mem:
+                w(ind + "n_l1r = n_l1w = n_bc = bc_stall = 0")
+            w(ind + "n_ic_h = n_ic_m = 0")
         w(ind + "stop = None")
         w(ind + "next_pc = %d" % self.end_pc)
         last_pc = self.end_pc - 1
@@ -1288,11 +1864,7 @@ class _VliwGen:
             w(bind + "# pc %d" % pc)
             w(bind + "if max_cycle is not None and cycle > max_cycle:")
             w(bind + "    raise _VF('exceeded %d cycles in VLIW mode' % max_cycle)")
-            w(bind + "miss = icache_fetch(%d, cycle)" % pc)
-            w(bind + "if miss:")
-            w(bind + "    add_stall(_IC, miss)")
-            w(bind + "    vliw_cycles += miss")
-            w(bind + "    cycle += miss")
+            self._emit_fetch(lines, bind, pc)
             # Scoreboard interlock over statically-deduped source lists.
             need_regs: List[int] = []
             need_preds: List[int] = []
@@ -1318,9 +1890,10 @@ class _VliwGen:
                 w(bind + "    wait = need - cycle")
                 w(bind + "    add_stall(_IL, wait)")
                 w(bind + "    vliw_cycles += wait")
-                w(bind + "    if tracer.enabled:")
-                w(bind + "        tracer.instant('stall.interlock', cycle, cat='stall',"
-                  " args={'pc': %d, 'cycles': wait})" % pc)
+                if not self.batch:
+                    w(bind + "    if tracer.enabled:")
+                    w(bind + "        tracer.instant('stall.interlock', cycle, cat='stall',"
+                      " args={'pc': %d, 'cycles': wait})" % pc)
                 w(bind + "    cycle = need")
             # Issue: pre-clear predicated writeback slots, then the
             # instructions in slot order; two-phase write-back follows.
@@ -1369,12 +1942,21 @@ class _VliwGen:
             w(bind + "    dead = bl - 1")
             w(bind + "    add_stall(_BR, dead)")
             w(bind + "    vliw_cycles += dead")
-            w(bind + "    if tracer.enabled:")
-            w(bind + "        tracer.instant('stall.branch', cycle, cat='stall',"
-              " args={'pc': %d, 'target': tgt, 'cycles': dead})" % last_pc)
+            if not self.batch:
+                w(bind + "    if tracer.enabled:")
+                w(bind + "        tracer.instant('stall.branch', cycle, cat='stall',"
+                  " args={'pc': %d, 'target': tgt, 'cycles': dead})" % last_pc)
             w(bind + "    cycle += dead")
             w(bind + "    next_pc = tgt")
         w(ind + "finally:")
+        if used_fus:
+            w(ind + "    fu_ops = stats.fu_ops")
+            for fu in used_fus:
+                w(ind + "    fu_ops[%d] += n_fu%d" % (fu, fu))
+        if used_groups:
+            w(ind + "    op_groups = stats.op_groups")
+            for g in used_groups:
+                w(ind + "    op_groups[_G_%s] += n_g_%s" % (g, g))
         w(ind + "    stats.vliw_cycles += vliw_cycles")
         w(ind + "    stats.vliw_ops += vliw_ops")
         w(ind + "    stats.squashed_ops += squashed")
@@ -1382,8 +1964,14 @@ class _VliwGen:
         w(ind + "    stats.cdrf_writes += n_cdrf_w")
         w(ind + "    stats.cprf_reads += n_cprf_r")
         w(ind + "    stats.cprf_writes += n_cprf_w")
-        w(ind + "return stop, next_pc, cycle")
-        return "\n".join(lines) + "\n"
+        if self.batch:
+            if self.has_mem:
+                w(ind + "    stats.l1_reads += n_l1r")
+                w(ind + "    stats.l1_writes += n_l1w")
+                w(ind + "    stats.l1_bank_conflicts += n_bc")
+                w(ind + "    stats.l1_conflict_stall_cycles += bc_stall")
+            w(ind + "    stats.icache_hits += n_ic_h")
+            w(ind + "    stats.icache_misses += n_ic_m")
 
 
 def vliw_runner(bundles, start_pc: int, slot_fus, cdrf, cprf, fault):
@@ -1410,3 +1998,48 @@ def vliw_runner(bundles, start_pc: int, slot_fus, cdrf, cprf, fault):
     source = _cached_source(key, "vliw", "pc%d" % start_pc, gen)
     fn = _compiled_fn(key, source, "_vliw_run", {"_VF": fault, "_Stop": StopEvent})
     return fn, tuple(_vliw_pool_map(bundles, start_pc, end_pc)[0])
+
+
+def vliw_batch_runner(bundles, start_pc: int, slot_fus, cdrf, cprf,
+                      scratchpad, icache, fault, n_lanes: int):
+    """Return ``(fn, end_pc)`` — the lane-batched function for the
+    straight-line segment at *start_pc* and the segment's exclusive end.
+
+    The batch width, the L1 geometry and the icache geometry all join
+    the cache key because the memory and instruction-cache models are
+    inlined into the generated source (the per-packet variant reaches
+    them through bound methods, so its key can omit them).  Per-lane
+    immediate pools come from the caller via ``_vliw_pool_map`` over
+    each lane's (possibly ``patch_constants``-patched) bundles.
+    """
+    from repro.sim.vliw import StopEvent  # lazy: vliw.py imports this module
+
+    end_pc = vliw_segment_end(bundles, start_pc)
+    l1_geom = (scratchpad.n_banks, scratchpad.size_bytes)
+    icache_geom = (icache.n_lines, icache.bundles_per_line, icache.miss_penalty)
+    key = (
+        "vliw-batch",
+        int(n_lanes),
+        tuple(slot_fus),
+        (cdrf.width, cdrf.read_ports, cdrf.write_ports),
+        (cprf.read_ports, cprf.write_ports),
+        l1_geom,
+        icache_geom,
+        vliw_signature(bundles, start_pc, end_pc),
+    )
+
+    def gen() -> str:
+        return _VliwGen(bundles, start_pc, end_pc, slot_fus, cdrf, cprf, fault,
+                        l1_geom=l1_geom, icache_geom=icache_geom,
+                        n_lanes=int(n_lanes)).generate_batch()
+
+    source = _cached_source(key, "vliw-batch", "pc%d" % start_pc, gen)
+    fn = _compiled_fn(key, source, "_vliw_run_batch",
+                      {"_VF": fault, "_Stop": StopEvent, "_ME": MemoryError_,
+                       "_BF": (fault, MemoryError_)})
+    return fn, end_pc
+
+
+def vliw_imms(bundles, start_pc: int, end_pc: int) -> Tuple[int, ...]:
+    """One lane's immediate pool for the segment, in canonical order."""
+    return tuple(_vliw_pool_map(bundles, start_pc, end_pc)[0])

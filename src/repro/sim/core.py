@@ -113,6 +113,23 @@ class Core:
 
     # ------------------------------------------------------------------
 
+    def rebind_program(self, program: Program) -> None:
+        """Point the core at *program* without rebuilding the machine.
+
+        Used by the batched runtime to re-drive resident cores with
+        ``patch_constants`` variants of a linked program.  The VLIW
+        engine's per-pc decode/compile caches hold immediate pools read
+        from the bundle objects, so they are dropped whenever the
+        program object actually changes; rebinding the same object is
+        free and keeps every cache warm.
+        """
+        if program is self.program:
+            return
+        self.program = program
+        self.vliw.bundles = program.bundles
+        self.vliw._decoded = []
+        self.vliw._compiled = []
+
     def load_configuration(self, stall_core: bool = False) -> int:
         """DMA-preload all kernels' configuration contexts (accounting only).
 

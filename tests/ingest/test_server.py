@@ -49,6 +49,24 @@ def _slow_factory():
     return _SlowRunner()
 
 
+class _SlowBatchRunner(_SlowRunner):
+    """Batched flavour: one slow call serves a whole dispatch group."""
+
+    def run_batch_results(self, rxs, n_symbols=2, detect_hint=None):
+        time.sleep(0.2)
+
+        class _R:
+            def __init__(self, rx):
+                self.output = {"n": int(rx.shape[1])}
+                self.error = None
+
+        return [_R(rx) for rx in rxs]
+
+
+def _slow_batch_factory():
+    return _SlowBatchRunner()
+
+
 def _waveforms(n, seed=0, n_samples=600):
     rng = np.random.default_rng(seed)
     return [
@@ -141,6 +159,39 @@ def test_fabric_backpressure_shed_is_accounted_per_stream():
         assert server.accounting_problems({2: report.n_packets}) == []
 
 
+def test_batched_submission_shed_keeps_ledger_exactly_once():
+    """Regression for the batch-aware submission path: a burst pushed
+    through one ``offer_many`` call against a shedding batch-drain
+    fabric must account every packet exactly once — no packet may be
+    both submitted and shed, none may vanish — and the shed total must
+    land in the rolling window under ``ingest_shed``."""
+    waves = _waveforms(24, seed=13, n_samples=200)
+    fab = Fabric(
+        workers=1,
+        runner_factory=_slow_batch_factory,
+        queue_depth=2,
+        batch=4,
+        backpressure="drop",
+    )
+    with fab:
+        with IngestServer(fab, udp_port=0, window=64) as server:
+            report = send_stream(waves, udp=server.udp_address, stream_id=6)
+            server.drain(timeout=60)
+        fabric_report = fab.report()
+        view = fabric_report["ingest"]["streams"]["6"]
+        assert view["released"] == 24
+        assert view["shed_dropped"] > 0
+        assert view["submitted"] + view["shed_dropped"] == 24
+        assert server.accounting_problems({6: report.n_packets}) == []
+        assert (
+            fabric_report["window"]["counts"].get("ingest_shed", 0)
+            == view["shed_dropped"]
+        )
+        # Every accepted packet really completed through the batched
+        # dispatch path.
+        assert fabric_report["counters"]["completed"] == view["submitted"]
+
+
 def test_report_schema_metrics_lint_and_health():
     waves = _waveforms(8, seed=2, n_samples=200)
     fab = Fabric(workers=1, runner_factory=_checksum_factory, queue_depth=8)
@@ -155,7 +206,7 @@ def test_report_schema_metrics_lint_and_health():
         server.drain(timeout=60)
 
         report = fab.report()
-        assert report["schema"] == FABRIC_REPORT_SCHEMA == "repro.fabric_report/v2"
+        assert report["schema"] == FABRIC_REPORT_SCHEMA == "repro.fabric_report/v3"
         with open(_SCHEMA_PATH) as fh:
             schema = json.load(fh)
         errors = schema_errors(report, schema)

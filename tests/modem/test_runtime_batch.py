@@ -118,6 +118,23 @@ def test_killed_pool_worker_raises_typed_crash_error(monkeypatch):
     assert "packet index 0" in str(err)
 
 
+def test_batched_runtime_ragged_chunk_is_not_a_fallback(cases):
+    """A trailing singleton chunk (N % B != 0) runs per-packet by
+    design; it must stay bit-identical to the per-packet compiled tier
+    and must NOT count toward the divergence ``fallbacks`` counter."""
+    from repro.runtime import BatchedModemRuntime
+
+    subset = [case.rx for case in cases[:3]]
+    serial = ModemRuntime()
+    expected = [serial.run_packet(rx) for rx in subset]
+    batched = BatchedModemRuntime(batch=2)  # chunks of 2 + 1
+    outputs = batched.run_batch(subset)
+    for out, ref in zip(outputs, expected):
+        _assert_outputs_identical(out, ref)
+    assert batched.packets_run == 3
+    assert batched.fallbacks == 0, "ragged singleton chunk is not a fallback"
+
+
 def test_runtime_tracks_warmed_shapes(cases):
     """warmed_shapes mirrors the linked-program shapes; the fabric uses
     it to seed shape-affinity state for workers forked from a template."""

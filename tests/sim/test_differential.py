@@ -1,14 +1,18 @@
-"""Differential harness: all three interpreter tiers against each other.
+"""Differential harness: all four interpreter tiers against each other.
 
 Every program here runs under ``Core(interpreter="decoded")``,
-``Core(interpreter="reference")`` and ``Core(interpreter="compiled")``
-and the final machine state must be **bit-identical**: cycle counts,
-every register file, scratchpad memory, and the full
+``Core(interpreter="reference")`` and ``Core(interpreter="compiled")``,
+plus the lane-batched tier (:mod:`repro.sim.batch` driving the SoA
+functions from ``cga_batch_runner`` / ``vliw_batch_runner``), and the
+final machine state must be **bit-identical**: cycle counts, every
+register file, scratchpad memory, and the full
 :class:`~repro.sim.stats.ActivityStats` including per-cause stall
 counters.  This is the correctness contract of the pre-decode layer
 (`src/repro/sim/decode.py`) and of the tier-3 code generator
 (`src/repro/sim/codegen.py`): lowering is an optimisation, never a
-semantic change.
+semantic change.  The batched tier additionally proves its divergence
+story here: ragged widths, per-lane immediate pools, and mid-batch
+faults that fall back to per-packet execution bit-identically.
 """
 
 import pytest
@@ -29,6 +33,9 @@ from repro.sim import (
     SrcSel,
     VliwBundle,
 )
+from repro.sim.batch import BatchProgramRunner
+from repro.sim.cga import CgaFault
+from repro.sim.memory import MemoryError_
 from repro.sim.program import DstKind, Preload
 from repro.sim.stats import _COUNTER_FIELDS, _SCALAR_FIELDS
 
@@ -76,20 +83,47 @@ def assert_identical(decoded: Core, reference: Core) -> None:
 
 INTERPRETERS = ("decoded", "reference", "compiled")
 
+#: Lanes driven through the batched tier by :func:`run_both`; a small
+#: odd width so the batch fns differ from any pre-seeded cache entries.
+BATCH_LANES = 3
+
+
+def assert_batched_identical(make_core, reference, n_lanes=BATCH_LANES,
+                             runner=None):
+    """Drive *n_lanes* fresh compiled cores through the batched tier and
+    assert each lane lands bit-identical to *reference* without needing
+    the per-packet fallback.  Returns the lane results."""
+    lanes = [make_core() for _ in range(n_lanes)]
+    if runner is None:
+        runner = BatchProgramRunner()
+    results = runner.run(lanes, fresh=lambda i: make_core())
+    for lane in results:
+        assert lane.error is None, "batched lane errored: %r" % (lane.error,)
+        assert not lane.fell_back, "batched lane unexpectedly fell back"
+        assert_identical(reference, lane.core)
+    return results
+
 
 def run_both(program, pokes=(), mem=(), arch=None):
-    """Run *program* under all interpreter tiers and diff the final state."""
-    cores = []
-    for interpreter in INTERPRETERS:
+    """Run *program* under all interpreter tiers — including the batched
+    tier — and diff the final state."""
+
+    def make_core(interpreter="compiled"):
         core = Core(arch or paper_core(), program, interpreter=interpreter)
         for reg, value in pokes:
             core.cdrf.poke(reg, value)
         for addr, value, size in mem:
             core.scratchpad.write_word(addr, value, size)
+        return core
+
+    cores = []
+    for interpreter in INTERPRETERS:
+        core = make_core(interpreter)
         core.run()
         cores.append(core)
     for other in cores[1:]:
         assert_identical(cores[0], other)
+    assert_batched_identical(make_core, cores[0])
     return cores[0]
 
 
@@ -455,16 +489,21 @@ def test_compiled_fshift_differential():
         live_ins={"src": 0, "dst": 2048, "tab": 1024},
         trip=n // 2,
     )
-    cores = []
-    for interpreter in INTERPRETERS:
+    def make_core(interpreter="compiled"):
         core = Core(arch, program, interpreter=interpreter)
         store_complex_array(core.scratchpad, 0, re, im)
         for k, w in enumerate(table):
             core.scratchpad.write_word(1024 + 8 * k, w, 8)
+        return core
+
+    cores = []
+    for interpreter in INTERPRETERS:
+        core = make_core(interpreter)
         core.run()
         cores.append(core)
     for other in cores[1:]:
         assert_identical(cores[0], other)
+    assert_batched_identical(make_core, cores[0])
 
 
 def test_compiled_xcorr_differential():
@@ -484,12 +523,193 @@ def test_compiled_xcorr_differential():
         live_ins={"base": 0, "ref": 2048},
         trip=n // 2,
     )
-    cores = []
-    for interpreter in INTERPRETERS:
+    def make_core(interpreter="compiled"):
         core = Core(arch, program, interpreter=interpreter)
         store_complex_array(core.scratchpad, 0, sig_re, sig_im)
         store_complex_array(core.scratchpad, 2048, ref_re, ref_im)
+        return core
+
+    cores = []
+    for interpreter in INTERPRETERS:
+        core = make_core(interpreter)
         core.run()
         cores.append(core)
     for other in cores[1:]:
         assert_identical(cores[0], other)
+    assert_batched_identical(make_core, cores[0])
+
+
+# ----------------------------------------------------------------------
+# Batched tier: ragged widths, per-lane pools, divergence fallback
+# ----------------------------------------------------------------------
+
+
+def _maker(program, pokes=(), mem=()):
+    def make_core():
+        core = Core(paper_core(), program, interpreter="compiled")
+        for reg, value in pokes:
+            core.cdrf.poke(reg, value)
+        for addr, value, size in mem:
+            core.scratchpad.write_word(addr, value, size)
+        return core
+
+    return make_core
+
+
+def test_batched_ragged_final_batch():
+    """N % B != 0: one resident runner serves a full batch then the
+    ragged remainder, each width bit-identical to per-packet."""
+    kernel, pokes, mem = k_pipelined_load()
+    program = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    make_core = _maker(program, pokes, mem)
+    reference = make_core()
+    reference.run()
+    runner = BatchProgramRunner()
+    for width in (4, 3):  # 7 packets at B=4 -> batches of 4 and 3
+        assert_batched_identical(make_core, reference, n_lanes=width,
+                                 runner=runner)
+    # Both widths compiled to (and served by) distinct batch functions.
+    widths = {key[-1] for key in runner._cga_fns}
+    assert widths == {4, 3}
+    assert all(fn is not None for fn in runner._cga_fns.values())
+
+
+def test_batched_patched_constants_per_lane_pools():
+    """Lanes carrying different ``patch_constants`` variants batch
+    together: one compiled artifact, per-lane immediate pools."""
+    from repro.sim import codegen
+    from repro.sim.program import patch_constants
+
+    sentinel = 0xDEAD02
+    op = CgaOp(
+        opcode=Opcode.ADD,
+        srcs=(SrcSel.self_().with_init(0), SrcSel.imm(sentinel)),
+        dsts=(DstSel(DstKind.CDRF, 10, last_iteration_only=True),),
+    )
+    kernel = CgaKernel(
+        name="pools", ii=1, stage_count=1,
+        contexts=[CgaContext(ops={0: op})], trip_count=6,
+    )
+    template = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    values = (3, 11, -5)
+    variants = [patch_constants(template, {sentinel: v}) for v in values]
+    per_packet = []
+    for variant in variants:
+        core = _maker(variant)()
+        core.run()
+        per_packet.append(core)
+    lanes = [_maker(variant)() for variant in variants]
+    runner = BatchProgramRunner()
+    before = codegen.codegen_stats()["compilations"]
+    results = runner.run(lanes)
+    for lane, ref, value in zip(results, per_packet, values):
+        assert lane.error is None and not lane.fell_back
+        assert_identical(ref, lane.core)
+        assert lane.core.cdrf.peek(10) == (6 * value) & 0xFFFFFFFF
+    # All three variants shared the batch compiles (one VLIW segment fn
+    # at most, one kernel fn at most — pools carry the differing imms).
+    assert codegen.codegen_stats()["compilations"] - before <= 2
+    assert all(fn is not None for fn in runner._cga_fns.values())
+
+
+def test_batched_divergent_trip_counts_fall_back_per_packet():
+    """Differing register trip counts split the batch; every lane still
+    lands bit-identical to its own per-packet run."""
+    kernel, _, _ = k_trip_from_register()
+    program = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    trips = (7, 3, 7, 0)
+    per_packet = []
+    for trip in trips:
+        core = _maker(program, pokes=[(5, trip)])()
+        core.run()
+        per_packet.append(core)
+    lanes = [_maker(program, pokes=[(5, trip)])() for trip in trips]
+    results = BatchProgramRunner().run(lanes)
+    for lane, ref in zip(results, per_packet):
+        assert lane.error is None and not lane.fell_back
+        assert_identical(ref, lane.core)
+
+
+def test_batched_mid_batch_cga_fault_falls_back():
+    """A lane whose kernel faults (preload into a missing local RF — a
+    structural property the signature excludes, so the lane still lands
+    in the batch group) is replayed per-packet with the canonical
+    ``CgaFault``; the surviving lanes stay bit-identical."""
+    kernel, pokes, mem = k_pipelined_load()
+    bad_kernel = CgaKernel(
+        name=kernel.name, ii=kernel.ii, stage_count=kernel.stage_count,
+        contexts=kernel.contexts, trip_count=kernel.trip_count,
+        preloads=[Preload(fu=99, lrf_index=0, cdrf_reg=0)],
+    )
+    program = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    bad_program = Program(bundles=enter_and_halt(), kernels={0: bad_kernel})
+    reference = _maker(program, pokes, mem)()
+    reference.run()
+    with pytest.raises(CgaFault) as per_packet_exc:
+        _maker(bad_program, pokes, mem)().run()
+
+    def fresh(lane):
+        return _maker(bad_program if lane == 1 else program, pokes, mem)()
+
+    lanes = [fresh(i) for i in range(3)]
+    results = BatchProgramRunner().run(lanes, fresh=fresh)
+    assert results[1].fell_back
+    assert isinstance(results[1].error, CgaFault)
+    assert str(results[1].error) == str(per_packet_exc.value)
+    for i in (0, 2):
+        assert results[i].error is None and not results[i].fell_back
+        assert_identical(reference, results[i].core)
+
+
+def test_batched_mid_segment_memory_fault_falls_back():
+    """A data-dependent scratchpad overrun in one lane faults inside the
+    batched VLIW function; the fallback reproduces the per-packet
+    ``MemoryError_`` while sibling lanes complete batched."""
+    bundles = [
+        VliwBundle((
+            Instruction(Opcode.LD_I, srcs=(Reg(1), Imm(0)), dst=Reg(2)),
+            None,
+            None,
+        )),
+        VliwBundle((Instruction(Opcode.HALT), None, None)),
+    ]
+    program = Program(bundles=bundles)
+    good = [(1, 16)]
+    bad = [(1, 1 << 20)]  # far outside the scratchpad
+    reference = _maker(program, pokes=good, mem=[(64, 5, 4)])()
+    reference.run()
+    with pytest.raises(MemoryError_) as per_packet_exc:
+        _maker(program, pokes=bad)().run()
+
+    def fresh(lane):
+        pokes = bad if lane == 2 else good
+        mem = () if lane == 2 else [(64, 5, 4)]
+        return _maker(program, pokes=pokes, mem=mem)()
+
+    lanes = [fresh(i) for i in range(4)]
+    results = BatchProgramRunner().run(lanes, fresh=fresh)
+    assert results[2].fell_back
+    assert isinstance(results[2].error, MemoryError_)
+    assert str(results[2].error) == str(per_packet_exc.value)
+    for i in (0, 1, 3):
+        assert results[i].error is None and not results[i].fell_back
+        assert_identical(reference, results[i].core)
+
+
+def test_batched_fault_without_fresh_records_error():
+    """Without a ``fresh`` factory the batched-path exception is kept,
+    mapped exactly as ``Core.run`` maps it."""
+    kernel, pokes, mem = k_pipelined_load()
+    bad_kernel = CgaKernel(
+        name=kernel.name, ii=kernel.ii, stage_count=kernel.stage_count,
+        contexts=kernel.contexts, trip_count=kernel.trip_count,
+        preloads=[Preload(fu=99, lrf_index=0, cdrf_reg=0)],
+    )
+    program = Program(bundles=enter_and_halt(), kernels={0: kernel})
+    bad_program = Program(bundles=enter_and_halt(), kernels={0: bad_kernel})
+    lanes = [_maker(bad_program if i == 0 else program, pokes, mem)()
+             for i in range(3)]
+    results = BatchProgramRunner().run(lanes)
+    assert isinstance(results[0].error, CgaFault)
+    assert not results[0].fell_back
+    assert results[1].error is None and results[2].error is None
